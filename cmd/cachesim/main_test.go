@@ -1,0 +1,88 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fbcache/internal/bundle"
+	"fbcache/internal/trace"
+	"fbcache/internal/workload"
+)
+
+func TestParsePopularity(t *testing.T) {
+	if parsePopularity("zipf") != workload.Zipf || parsePopularity("ZIPF") != workload.Zipf {
+		t.Error("zipf not recognized")
+	}
+	if parsePopularity("uniform") != workload.Uniform || parsePopularity("junk") != workload.Uniform {
+		t.Error("default not uniform")
+	}
+}
+
+func TestBuildPolicyAllNames(t *testing.T) {
+	sizeOf := func(bundle.FileID) bundle.Size { return 1 }
+	names := []string{"optfilebundle", "opt", "landlord", "lru", "lfu", "gdsf", "fifo", "mru", "random"}
+	for _, n := range names {
+		p, opt := buildPolicy(n, 100, sizeOf, 1)
+		if p == nil {
+			t.Fatalf("%s: nil policy", n)
+		}
+		if (n == "optfilebundle" || n == "opt") != (opt != nil) {
+			t.Errorf("%s: concrete handle = %v", n, opt)
+		}
+		p.Admit(bundle.New(1, 2))
+	}
+}
+
+func TestLoadWorkloadGenerateAndReplay(t *testing.T) {
+	spec := workload.DefaultSpec()
+	spec.Jobs = 50
+	spec.NumFiles = 20
+	spec.NumRequests = 10
+	w, err := loadWorkload("", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Jobs) != 50 {
+		t.Fatalf("jobs = %d", len(w.Jobs))
+	}
+
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "t.json")
+	f, err := os.Create(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteJSON(f, w); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	got, err := loadWorkload(jsonPath, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Jobs) != 50 {
+		t.Errorf("replayed jobs = %d", len(got.Jobs))
+	}
+
+	gobPath := filepath.Join(dir, "t.gob")
+	g, err := os.Create(gobPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteGob(g, w); err != nil {
+		t.Fatal(err)
+	}
+	g.Close()
+	got, err = loadWorkload(gobPath, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Jobs) != 50 {
+		t.Errorf("gob replayed jobs = %d", len(got.Jobs))
+	}
+
+	if _, err := loadWorkload(filepath.Join(dir, "missing.json"), spec); err == nil {
+		t.Error("missing trace accepted")
+	}
+}

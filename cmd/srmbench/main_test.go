@@ -1,0 +1,82 @@
+package main
+
+import (
+	"testing"
+
+	"fbcache/internal/bundle"
+	"fbcache/internal/core"
+	"fbcache/internal/history"
+	"fbcache/internal/policy"
+	"fbcache/internal/srm"
+	"fbcache/internal/workload"
+)
+
+// End-to-end over a real TCP socket: spin up an in-process srmd-equivalent
+// server, drive it with runBench, verify the numbers add up.
+func TestRunBenchEndToEnd(t *testing.T) {
+	cat := bundle.NewCatalog()
+	pol := policy.WrapOptFileBundle(core.New(2*bundle.GB, cat.SizeFunc(), core.Options{
+		History: history.Config{Truncation: history.CacheResident},
+	}))
+	service := srm.New(pol, cat)
+	server, err := srm.Serve(service, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer server.Close()
+
+	const clients, jobsPerClient = 3, 15
+	w, err := workload.Generate(workload.Spec{
+		Seed:           7,
+		CacheSize:      2 * bundle.GB,
+		NumFiles:       40,
+		MinFileSize:    bundle.MB,
+		MaxFilePct:     0.05,
+		NumRequests:    25,
+		MaxBundleFiles: 4,
+		MaxBundleFrac:  0.25,
+		Popularity:     workload.Zipf,
+		ZipfS:          1,
+		Jobs:           clients * jobsPerClient,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sum, err := runBench(server.Addr(), w, clients, jobsPerClient)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.ops != clients*jobsPerClient {
+		t.Errorf("ops = %d, want %d", sum.ops, clients*jobsPerClient)
+	}
+	if sum.errors != 0 {
+		t.Errorf("errors = %d", sum.errors)
+	}
+	if len(sum.latencies) != sum.ops {
+		t.Errorf("latencies = %d", len(sum.latencies))
+	}
+	if sum.serverSnap.Jobs != int64(sum.ops) {
+		t.Errorf("server saw %d jobs, client did %d", sum.serverSnap.Jobs, sum.ops)
+	}
+	if sum.serverSnap.ActiveJobs != 0 || sum.serverSnap.PinnedBytes != 0 {
+		t.Errorf("leaked leases: %+v", sum.serverSnap)
+	}
+	if sum.serverSnap.HitRatio <= 0 {
+		t.Errorf("no hits across a Zipf stream: %+v", sum.serverSnap)
+	}
+}
+
+func TestRunBenchUnreachableServer(t *testing.T) {
+	w, err := workload.Generate(workload.Spec{
+		Seed: 1, CacheSize: bundle.GB, NumFiles: 4, MinFileSize: bundle.MB,
+		MaxFilePct: 0.1, NumRequests: 2, MaxBundleFiles: 2, MaxBundleFrac: 0.5,
+		Jobs: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runBench("127.0.0.1:1", w, 1, 1); err == nil {
+		t.Error("unreachable server accepted")
+	}
+}

@@ -1,0 +1,155 @@
+// Command srmd runs a Storage Resource Manager daemon: a disk cache managed
+// by the OptFileBundle policy, exposed over the newline-delimited JSON TCP
+// protocol of internal/srm. It also doubles as a protocol client so bundles
+// can be staged from shell scripts.
+//
+// Server:
+//
+//	srmd -listen :7070 -cache-gb 10
+//
+// Client:
+//
+//	srmd -connect localhost:7070 -addfile evt-energy:2147483648
+//	srmd -connect localhost:7070 -stage evt-energy,evt-momentum
+//	srmd -connect localhost:7070 -release t1
+//	srmd -connect localhost:7070 -stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+
+	"fbcache/internal/bundle"
+	"fbcache/internal/core"
+	"fbcache/internal/history"
+	"fbcache/internal/policy"
+	"fbcache/internal/srm"
+)
+
+func main() {
+	var (
+		listen   = flag.String("listen", "", "serve on this address (e.g. :7070)")
+		httpAddr = flag.String("http", "", "also serve monitoring stats over HTTP on this address")
+		cacheGB  = flag.Float64("cache-gb", 10, "cache size in GB (server)")
+		connect  = flag.String("connect", "", "act as a client of this server")
+		addfile  = flag.String("addfile", "", "client: register name:sizeBytes")
+		stage    = flag.String("stage", "", "client: stage comma-separated file names")
+		release  = flag.String("release", "", "client: release a stage token")
+		stats    = flag.Bool("stats", false, "client: print server statistics")
+	)
+	flag.Parse()
+
+	switch {
+	case *listen != "":
+		runServer(*listen, *httpAddr, *cacheGB)
+	case *connect != "":
+		runClient(*connect, *addfile, *stage, *release, *stats)
+	default:
+		fmt.Fprintln(os.Stderr, "srmd: need -listen (server) or -connect (client); see -h")
+		os.Exit(2)
+	}
+}
+
+func runServer(addr, httpAddr string, cacheGB float64) {
+	cat := bundle.NewCatalog()
+	pol := policy.WrapOptFileBundle(core.New(
+		bundle.Size(cacheGB*float64(bundle.GB)), cat.SizeFunc(),
+		core.Options{History: history.Config{Truncation: history.CacheResident}},
+	))
+	service := srm.New(pol, cat)
+	server, err := srm.Serve(service, addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "srmd: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("srmd: serving OptFileBundle cache (%.1f GB) on %s\n", cacheGB, server.Addr())
+	if httpAddr != "" {
+		go func() {
+			fmt.Printf("srmd: monitoring stats on http://%s/stats\n", httpAddr)
+			if err := http.ListenAndServe(httpAddr, srm.StatsHandler(service)); err != nil {
+				fmt.Fprintf(os.Stderr, "srmd: http: %v\n", err)
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("srmd: shutting down")
+	service.Close()
+	server.Close()
+}
+
+func runClient(addr, addfile, stage, release string, stats bool) {
+	c, err := srm.Dial(addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "srmd: %v\n", err)
+		os.Exit(1)
+	}
+	defer c.Close()
+
+	did := false
+	if addfile != "" {
+		did = true
+		name, sizeStr, ok := strings.Cut(addfile, ":")
+		if !ok {
+			fmt.Fprintln(os.Stderr, "srmd: -addfile wants name:sizeBytes")
+			os.Exit(2)
+		}
+		size, err := strconv.ParseInt(sizeStr, 10, 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "srmd: bad size %q: %v\n", sizeStr, err)
+			os.Exit(2)
+		}
+		if err := c.AddFile(name, bundle.Size(size)); err != nil {
+			fmt.Fprintf(os.Stderr, "srmd: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("added %s (%s)\n", name, bundle.Size(size))
+	}
+	if stage != "" {
+		did = true
+		files := strings.Split(stage, ",")
+		token, hit, loaded, err := c.Stage(files...)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "srmd: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("staged token=%s hit=%v loaded=%v\n", token, hit, loaded)
+		fmt.Println("note: the lease is dropped when this client exits; long-running jobs should keep the connection open")
+	}
+	if release != "" {
+		did = true
+		if err := c.Release(release); err != nil {
+			fmt.Fprintf(os.Stderr, "srmd: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("released %s\n", release)
+	}
+	if stats {
+		did = true
+		st, err := c.Stats()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "srmd: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("policy          %s\n", st.Policy)
+		fmt.Printf("jobs            %d\n", st.Jobs)
+		fmt.Printf("hit ratio       %.4f\n", st.HitRatio)
+		fmt.Printf("byte miss ratio %.4f\n", st.ByteMissRatio)
+		fmt.Printf("bytes loaded    %v\n", st.BytesLoaded)
+		fmt.Printf("active jobs     %d\n", st.ActiveJobs)
+		fmt.Printf("pinned          %v\n", st.PinnedBytes)
+		fmt.Printf("cache           %v / %v\n", st.CacheUsed, st.CacheCapacity)
+	}
+	if !did {
+		fmt.Fprintln(os.Stderr, "srmd: client mode needs -addfile, -stage, -release or -stats")
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,80 @@
+// Command tracegen generates a synthetic file-bundle workload (the §5.1
+// model) and writes it as a trace file for later replay with cachesim
+// -trace. JSON (default) is diff-friendly; -gob writes the compact binary
+// form.
+//
+// Example:
+//
+//	tracegen -jobs 10000 -popularity zipf -o zipf10k.trace.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"fbcache/internal/bundle"
+	"fbcache/internal/trace"
+	"fbcache/internal/workload"
+)
+
+func main() {
+	var (
+		out        = flag.String("o", "", "output path (default stdout)")
+		useGob     = flag.Bool("gob", false, "write compact binary format")
+		cacheGB    = flag.Float64("cache-gb", 4, "reference cache size in GB")
+		files      = flag.Int("files", 300, "file pool size")
+		requests   = flag.Int("requests", 150, "request pool size")
+		jobs       = flag.Int("jobs", 10000, "number of job arrivals")
+		popularity = flag.String("popularity", "uniform", "uniform or zipf")
+		zipfS      = flag.Float64("zipf-s", 1, "Zipf exponent")
+		maxFilePct = flag.Float64("max-file-pct", 0.05, "max file size as a fraction of the cache")
+		bundleMax  = flag.Int("bundle-files", 6, "max files per request")
+		seed       = flag.Int64("seed", 1, "generation seed")
+	)
+	flag.Parse()
+
+	pop := workload.Uniform
+	if strings.EqualFold(*popularity, "zipf") {
+		pop = workload.Zipf
+	}
+	w, err := workload.Generate(workload.Spec{
+		Seed:           *seed,
+		CacheSize:      bundle.Size(*cacheGB * float64(bundle.GB)),
+		NumFiles:       *files,
+		MinFileSize:    bundle.MB,
+		MaxFilePct:     *maxFilePct,
+		NumRequests:    *requests,
+		MaxBundleFiles: *bundleMax,
+		MaxBundleFrac:  0.5,
+		Popularity:     pop,
+		ZipfS:          *zipfS,
+		Jobs:           *jobs,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+		os.Exit(1)
+	}
+
+	dst := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		dst = f
+	}
+	write := trace.WriteJSON
+	if *useGob {
+		write = trace.WriteGob
+	}
+	if err := write(dst, w); err != nil {
+		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "tracegen: %d files, %d requests, %d jobs (mean request %v, cache ~%.1f requests)\n",
+		w.Catalog.Len(), len(w.Requests), len(w.Jobs), w.MeanRequestBytes(), w.CacheSizeInRequests())
+}

@@ -1,0 +1,49 @@
+// Command traceinfo inspects a workload trace: file and request pool
+// statistics, popularity concentration, file-sharing degree (the d of
+// Theorem 4.1), and the reference cache size in requests.
+//
+//	tracegen -jobs 10000 -popularity zipf -o run.trace.json
+//	traceinfo run.trace.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"fbcache/internal/trace"
+	"fbcache/internal/workload"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: traceinfo <trace-file>")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "traceinfo: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+
+	var w *workload.Workload
+	if strings.HasSuffix(path, ".gob") {
+		w, err = trace.ReadGob(f)
+	} else {
+		w, err = trace.ReadJSON(f)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "traceinfo: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("trace: %s\n\n", path)
+	workload.Describe(w).Render(os.Stdout)
+}

@@ -1,0 +1,147 @@
+// Bit-sliced index queries (the paper's third motivating application, §1.1,
+// after Wu et al. [15]): each attribute's value range is divided into bins
+// and every bin's bitmap is stored in its own file. A range query ORs the
+// bitmaps of the bins it touches and ANDs across attributes — so every
+// query is a file-bundle that must be cache-resident simultaneously.
+//
+// Unlike a synthetic workload, this example builds a REAL bit-sliced index
+// over simulated physics events, derives each stored query's file-bundle
+// from the index itself, evaluates the queries (so the counts printed are
+// true answers), and then compares how OptFileBundle and Landlord manage
+// the staging cache for the same query stream.
+//
+//	go run ./examples/bitmap
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fbcache"
+)
+
+const (
+	numEvents  = 200000
+	cacheFrac  = 0.35 // cache holds ~35% of the index
+	numQueries = 120
+	arrivals   = 4000
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(15))
+
+	// Build the index: six event attributes, binned.
+	cat := fbcache.NewCatalog()
+	ix := fbcache.NewBitmapIndex(numEvents, cat)
+	attrs := []struct {
+		name   string
+		lo, hi float64
+		bins   int
+		dist   func() float64
+	}{
+		{"energy", 0, 500, 20, func() float64 { return rng.ExpFloat64() * 80 }},
+		{"pt", 0, 100, 16, func() float64 { return rng.ExpFloat64() * 20 }},
+		{"eta", -5, 5, 20, func() float64 { return rng.NormFloat64() * 1.5 }},
+		{"phi", 0, 6.2832, 12, func() float64 { return rng.Float64() * 6.2832 }},
+		{"ntracks", 0, 200, 10, func() float64 { return float64(rng.Intn(200)) }},
+		{"centrality", 0, 1, 10, func() float64 { return rng.Float64() }},
+	}
+	ids := make([]int, len(attrs))
+	for i, a := range attrs {
+		ids[i] = ix.AddAttribute(a.name, a.lo, a.hi, a.bins)
+	}
+	for row := 0; row < numEvents; row++ {
+		for i, a := range attrs {
+			ix.SetValue(row, ids[i], a.dist())
+		}
+	}
+	ix.Finalize()
+
+	cacheSize := fbcache.Size(float64(cat.TotalSize()) * cacheFrac)
+	fmt.Printf("bit-sliced index: %d events, %d attributes, %d bin files (%v); cache %v\n",
+		numEvents, len(attrs), cat.Len(), cat.TotalSize(), cacheSize)
+
+	// Stored queries: physics cuts touching 1-3 attributes.
+	type storedQuery struct {
+		ranges []fbcache.QueryRange
+		files  fbcache.Bundle
+	}
+	queries := make([]storedQuery, numQueries)
+	for q := range queries {
+		n := 1 + rng.Intn(3)
+		perm := rng.Perm(len(attrs))[:n]
+		var ranges []fbcache.QueryRange
+		for _, ai := range perm {
+			a := attrs[ai]
+			width := (a.hi - a.lo) / float64(a.bins)
+			loBin := rng.Intn(a.bins - 2)
+			wBins := 1 + rng.Intn(3)
+			ranges = append(ranges, fbcache.QueryRange{
+				Attr: ids[ai],
+				Lo:   a.lo + float64(loBin)*width,
+				Hi:   a.lo + float64(loBin+wBins)*width,
+			})
+		}
+		files, err := ix.QueryFiles(ranges)
+		if err != nil {
+			panic(err)
+		}
+		queries[q] = storedQuery{ranges: ranges, files: files}
+	}
+
+	// Show three real answers — the index genuinely evaluates.
+	fmt.Println("\nsample query answers (query -> matching events):")
+	for q := 0; q < 3; q++ {
+		bm, err := ix.Evaluate(queries[q].ranges)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("  q%d over %d bin files -> %d events\n",
+			q, queries[q].files.Len(), bm.Count())
+	}
+
+	// Zipf-popular query stream against the staging cache.
+	zipfCum := make([]float64, numQueries)
+	total := 0.0
+	for i := range zipfCum {
+		total += 1 / float64(i+1)
+		zipfCum[i] = total
+	}
+	jobs := make([]fbcache.Bundle, arrivals)
+	for i := range jobs {
+		u := rng.Float64() * total
+		j := numQueries - 1
+		for k, c := range zipfCum {
+			if u <= c {
+				j = k
+				break
+			}
+		}
+		jobs[i] = queries[j].files
+	}
+
+	fmt.Printf("\n%d query arrivals (Zipf popularity over %d stored queries):\n\n", arrivals, numQueries)
+	fmt.Printf("%-15s %-10s %-11s %-14s\n", "policy", "hit-ratio", "byte-miss", "data/query")
+	for _, p := range []fbcache.Policy{
+		fbcache.NewCache(cacheSize, cat.SizeFunc()),
+		fbcache.NewLandlord(cacheSize, cat.SizeFunc()),
+		fbcache.NewLRU(cacheSize, cat.SizeFunc()),
+	} {
+		hits := 0
+		var reqBytes, missBytes fbcache.Size
+		for _, b := range jobs {
+			res := p.Admit(b)
+			if res.Hit {
+				hits++
+			}
+			reqBytes += res.BytesRequested
+			missBytes += res.BytesLoaded
+		}
+		fmt.Printf("%-15s %-10.4f %-11.4f %-14v\n",
+			p.Name(), float64(hits)/float64(arrivals),
+			float64(missBytes)/float64(reqBytes),
+			fbcache.Size(int64(missBytes)/int64(arrivals)))
+	}
+	fmt.Println("\nthe hot queries' complete bin sets stay resident under OptFileBundle;")
+	fmt.Println("per-file policies fracture them and re-stage bins on every arrival.")
+}

@@ -1,0 +1,109 @@
+// Multi-site data-grid staging with strategic replication (§1, §2): an SRM
+// at the local lab pulls files from whichever site holds the cheapest
+// replica — the archive of record is a remote tape system across a WAN.
+// After observing the workload, the replication planner copies the hottest
+// files to the local disk archive and the same query stream runs again.
+//
+//	go run ./examples/gridstage
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"fbcache"
+)
+
+const (
+	numFiles  = 200
+	cacheGB   = 2
+	jobs      = 1500
+	replicaGB = 4 // local replica space budget
+)
+
+func main() {
+	// Workload: Zipf-popular bundle requests over the file pool.
+	spec := fbcache.DefaultWorkloadSpec()
+	spec.NumFiles = numFiles
+	spec.NumRequests = 100
+	spec.Jobs = jobs
+	spec.CacheSize = cacheGB * fbcache.GB
+	spec.MaxFilePct = 0.05
+	spec.MaxBundleFrac = 0.4
+	spec.Popularity = fbcache.Zipf
+	w, err := fbcache.Generate(spec)
+	if err != nil {
+		fail(err)
+	}
+
+	// Grid: local disk archive (fast, small) + remote tape (slow, holds
+	// everything) across a 20 MB/s WAN.
+	topo, err := fbcache.NewTopology("lbl-disk", fbcache.MSSConfig{
+		Name: "lbl-disk", LatencySec: 0.2, BandwidthBps: 200e6, Channels: 4,
+	})
+	if err != nil {
+		fail(err)
+	}
+	tape, err := topo.AddSite("bnl-tape", fbcache.MSSConfig{
+		Name: "bnl-tape", LatencySec: 12, BandwidthBps: 60e6, Channels: 3,
+	})
+	if err != nil {
+		fail(err)
+	}
+	if err := topo.Connect(topo.Local(), tape, fbcache.Link{LatencySec: 0.8, BandwidthBps: 20e6}); err != nil {
+		fail(err)
+	}
+	reps := fbcache.NewReplicas()
+	for _, f := range w.Catalog.Files() {
+		reps.Add(f.ID, tape)
+	}
+
+	runOnce := func(label string) fbcache.EventStats {
+		p := fbcache.NewCache(spec.CacheSize, w.Catalog.SizeFunc())
+		st, err := fbcache.RunEvents(w, p, fbcache.EventOptions{
+			ArrivalRate: 0.5,
+			Slots:       4,
+			Seed:        11,
+			Grid:        &fbcache.GridConfig{Topology: topo, Replicas: reps},
+		})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("%-22s mean-resp %8.1fs   p95 %8.1fs   throughput %6.1f jobs/h\n",
+			label, st.MeanResponse, st.P95Response, st.Throughput*3600)
+		return st
+	}
+
+	fmt.Printf("grid: local %q + remote %q over WAN; %d files (%v), cache %v\n\n",
+		"lbl-disk", "bnl-tape", w.Catalog.Len(), w.Catalog.TotalSize(), fbcache.Size(spec.CacheSize))
+
+	before := runOnce("remote-only replicas")
+
+	// Observe the workload to build a history for the planner. (An online
+	// SRM would use its live history; here we replay the trace into one.)
+	opt := fbcache.NewOptFileBundle(spec.CacheSize, w.Catalog.SizeFunc(), fbcache.WithFullHistory())
+	for i := range w.Jobs {
+		opt.Admit(w.JobBundle(i))
+	}
+	plan, err := fbcache.PlanReplication(opt.History(), topo, reps, w.Catalog.SizeFunc(), replicaGB*fbcache.GB)
+	if err != nil {
+		fail(err)
+	}
+	var planned fbcache.Size
+	for _, a := range plan {
+		planned += a.Size
+	}
+	fmt.Printf("\nreplication plan: %d hot files (%v) copied to lbl-disk (budget %v)\n\n",
+		len(plan), planned, fbcache.Size(replicaGB*fbcache.GB))
+	fbcache.ApplyReplication(plan, topo, reps)
+
+	after := runOnce("with local replicas")
+
+	fmt.Printf("\nmean response improved %.1fx; the cache policy is identical —\n", before.MeanResponse/after.MeanResponse)
+	fmt.Println("replication attacks staging latency, OptFileBundle attacks staging volume.")
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "gridstage:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,120 @@
+package fbcache
+
+import (
+	"io"
+
+	"fbcache/internal/experiment"
+	"fbcache/internal/metrics"
+	"fbcache/internal/mss"
+	"fbcache/internal/queue"
+	"fbcache/internal/simulate"
+	"fbcache/internal/srm"
+	"fbcache/internal/trace"
+	"fbcache/internal/workload"
+)
+
+// Workload generation (§5.1 model) and trace replay.
+type (
+	// WorkloadSpec describes a synthetic workload; see DefaultWorkloadSpec.
+	WorkloadSpec = workload.Spec
+	// Workload is a generated or replayed workload.
+	Workload = workload.Workload
+	// Popularity selects Uniform or Zipf request sampling.
+	Popularity = workload.Popularity
+)
+
+// Popularity laws.
+const (
+	Uniform = workload.Uniform
+	Zipf    = workload.Zipf
+)
+
+// DefaultWorkloadSpec returns the baseline workload configuration.
+func DefaultWorkloadSpec() WorkloadSpec { return workload.DefaultSpec() }
+
+// Generate builds a reproducible synthetic workload from the spec.
+func Generate(spec WorkloadSpec) (*Workload, error) { return workload.Generate(spec) }
+
+// WriteTraceJSON / ReadTraceJSON archive workloads as JSON lines.
+func WriteTraceJSON(dst io.Writer, w *Workload) error { return trace.WriteJSON(dst, w) }
+
+// ReadTraceJSON loads a JSON-lines trace.
+func ReadTraceJSON(src io.Reader) (*Workload, error) { return trace.ReadJSON(src) }
+
+// WriteTraceGob / ReadTraceGob archive workloads compactly.
+func WriteTraceGob(dst io.Writer, w *Workload) error { return trace.WriteGob(dst, w) }
+
+// ReadTraceGob loads a binary trace.
+func ReadTraceGob(src io.Reader) (*Workload, error) { return trace.ReadGob(src) }
+
+// Simulation.
+type (
+	// SimOptions configures a trace-driven run.
+	SimOptions = simulate.Options
+	// EventOptions configures the discrete-event (timed) run.
+	EventOptions = simulate.EventOptions
+	// EventStats summarizes a timed run.
+	EventStats = simulate.EventStats
+	// Metrics accumulates §1.2 performance measures.
+	Metrics = metrics.Collector
+	// MSSConfig describes a mass storage system for timed runs.
+	MSSConfig = mss.Config
+	// Scheduler orders jobs in the admission queue.
+	Scheduler = queue.Scheduler
+)
+
+// Run drives every job of w through p (the paper's cacheSim loop).
+func Run(w *Workload, p Policy, opts SimOptions) (*Metrics, error) {
+	return simulate.Run(w, p, opts)
+}
+
+// RunEvents runs the timed data-grid simulation (staging delays, pinning,
+// bounded concurrency) and reports throughput and response times.
+func RunEvents(w *Workload, p Policy, opts EventOptions) (EventStats, error) {
+	return simulate.RunEvents(w, p, opts)
+}
+
+// FCFSScheduler serves queued jobs in arrival order.
+func FCFSScheduler() Scheduler { return queue.FCFS() }
+
+// ScoreScheduler serves the highest-scoring queued job first; pair it with
+// (*core.OptFileBundle).RelativeValue via NewOptFileBundle for the paper's
+// queued service discipline.
+func ScoreScheduler(name string, score func(Bundle) float64) Scheduler {
+	return queue.ByScore(name, score)
+}
+
+// DefaultMSSConfig models a modest HPSS-class archive.
+func DefaultMSSConfig() MSSConfig { return mss.DefaultConfig() }
+
+// SRM service layer.
+type (
+	// SRM is the thread-safe staging service (§2).
+	SRM = srm.SRM
+	// SRMServer exposes an SRM over TCP.
+	SRMServer = srm.Server
+	// SRMClient is the TCP protocol client.
+	SRMClient = srm.Client
+	// SRMSnapshot is a point-in-time statistics snapshot.
+	SRMSnapshot = srm.Snapshot
+)
+
+// NewSRM wraps a policy and catalog in a concurrent staging service.
+func NewSRM(p Policy, cat *Catalog) *SRM { return srm.New(p, cat) }
+
+// ServeSRM starts a TCP server for the SRM on addr (e.g. "127.0.0.1:0").
+func ServeSRM(s *SRM, addr string) (*SRMServer, error) { return srm.Serve(s, addr) }
+
+// DialSRM connects to an SRM server.
+func DialSRM(addr string) (*SRMClient, error) { return srm.Dial(addr) }
+
+// Experiments: the paper's evaluation harness.
+type (
+	// ExperimentConfig scales the figure reproductions.
+	ExperimentConfig = experiment.Config
+	// ResultTable is one regenerated table or figure.
+	ResultTable = experiment.Table
+)
+
+// DefaultExperimentConfig returns the laptop-scale experiment configuration.
+func DefaultExperimentConfig() ExperimentConfig { return experiment.DefaultConfig() }

@@ -1,0 +1,96 @@
+package fbcache
+
+import (
+	"fbcache/internal/bitmapindex"
+	"fbcache/internal/grid"
+	"fbcache/internal/history"
+	"fbcache/internal/queue"
+	"fbcache/internal/replicate"
+	"fbcache/internal/simulate"
+)
+
+// Data-grid fabric (§2): sites, links, replica catalogs.
+type (
+	// Topology is the multi-site grid with one local site.
+	Topology = grid.Topology
+	// SiteID indexes a site within a Topology.
+	SiteID = grid.SiteID
+	// Link is a WAN path between sites.
+	Link = grid.Link
+	// Replicas maps files to the sites holding copies.
+	Replicas = grid.Replicas
+	// GridConfig wires a topology and replicas into RunEvents.
+	GridConfig = simulate.GridConfig
+)
+
+// NewTopology creates a grid with the given local site.
+func NewTopology(localName string, localMSS MSSConfig) (*Topology, error) {
+	return grid.NewTopology(localName, localMSS)
+}
+
+// NewReplicas returns an empty replica catalog.
+func NewReplicas() *Replicas { return grid.NewReplicas() }
+
+// Strategic replication (§1).
+type (
+	// ReplicationAction is one planned copy to the local site.
+	ReplicationAction = replicate.Action
+	// History is the L(R) request-history structure.
+	History = history.History
+)
+
+// PlanReplication plans which files to copy locally, greedy by expected
+// staging-time savings per byte, within `budget` bytes.
+func PlanReplication(hist *History, topo *Topology, reps *Replicas, sizeOf SizeFunc, budget Size) ([]ReplicationAction, error) {
+	return replicate.Plan(hist, topo, reps, sizeOf, budget)
+}
+
+// ApplyReplication commits a plan to the replica catalog.
+func ApplyReplication(plan []ReplicationAction, topo *Topology, reps *Replicas) {
+	replicate.Apply(plan, topo, reps)
+}
+
+// Hybrid execution model (§6 future work).
+type (
+	// HybridOptions configures RunHybrid.
+	HybridOptions = simulate.HybridOptions
+	// HybridStats reports a hybrid run per service model.
+	HybridStats = simulate.HybridStats
+	// ServiceModel selects bundle-at-a-time vs one-file-at-a-time service.
+	ServiceModel = simulate.ServiceModel
+)
+
+// Service models.
+const (
+	BundleAtATime  = simulate.BundleAtATime
+	OneFileAtATime = simulate.OneFileAtATime
+)
+
+// RunHybrid drives a workload under a mix of bundle-at-a-time and
+// one-file-at-a-time jobs.
+func RunHybrid(w *Workload, p Policy, opts HybridOptions) (*HybridStats, error) {
+	return simulate.RunHybrid(w, p, opts)
+}
+
+// AgeLimitScheduler wraps a scheduler with the §5.2 request-lockout guard:
+// any queued job passed over maxAge times is served next regardless of
+// score.
+func AgeLimitScheduler(sched Scheduler, maxAge int) Scheduler {
+	return queue.AgeLimit(sched, maxAge)
+}
+
+// Bit-sliced indices (§1.1 third motivating application).
+type (
+	// BitmapIndex is a bit-sliced index whose bin files live in a Catalog.
+	BitmapIndex = bitmapindex.Index
+	// Bitmap is a row bitset.
+	Bitmap = bitmapindex.Bitmap
+	// QueryRange is one attribute-range predicate.
+	QueryRange = bitmapindex.Range
+)
+
+// NewBitmapIndex builds an index over `rows` rows registering bin files in
+// cat.
+func NewBitmapIndex(rows int, cat *Catalog) *BitmapIndex {
+	return bitmapindex.New(rows, cat)
+}

@@ -1,0 +1,58 @@
+package fbcache
+
+import (
+	"io"
+
+	"fbcache/internal/bundle"
+	"fbcache/internal/jobs"
+	"fbcache/internal/policy"
+	"fbcache/internal/policy/offline"
+	"fbcache/internal/store"
+)
+
+// Job service layer (§1's "job service policy").
+type (
+	// JobManager queues jobs, schedules them, and stages bundles through an
+	// SRM with pinning.
+	JobManager = jobs.Manager
+	// JobConfig tunes workers and scheduling.
+	JobConfig = jobs.Config
+	// JobSpec is one submitted unit of work.
+	JobSpec = jobs.Job
+	// JobResult reports a completed job.
+	JobResult = jobs.Result
+)
+
+// NewJobManager starts a job service over an SRM.
+func NewJobManager(s *SRM, cfg JobConfig) *JobManager { return jobs.NewManager(s, cfg) }
+
+// NewBelady returns the clairvoyant bundle-adapted Belady/MIN baseline for
+// the given future request sequence — a hindsight reference no online
+// policy should beat meaningfully.
+func NewBelady(capacity Size, sizeOf SizeFunc, future []Bundle) Policy {
+	conv := make([]bundle.Bundle, len(future))
+	copy(conv, future)
+	return offline.New(capacity, sizeOf, conv)
+}
+
+// File-backed staging (real bytes on the staging disk).
+type (
+	// Store materializes staged files on local disk with CRC verification.
+	Store = store.Store
+	// StoreSource produces file content for cache misses.
+	StoreSource = store.Source
+)
+
+// NewStore creates a directory-backed store fetching misses from source.
+func NewStore(dir string, source StoreSource) (*Store, error) { return store.New(dir, source) }
+
+// FetchFromFunc adapts a reader-producing function to a StoreSource.
+func FetchFromFunc(fn func(FileID) (io.ReadCloser, error)) StoreSource {
+	return store.FetchFunc(fn)
+}
+
+// NewBypassPolicy wraps a policy with the §1 "file caching policy" filter:
+// files larger than frac×capacity are served pass-through and never cached.
+func NewBypassPolicy(inner Policy, sizeOf SizeFunc, frac float64) Policy {
+	return policy.NewBypass(inner, sizeOf, frac)
+}

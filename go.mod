@@ -1,0 +1,3 @@
+module fbcache
+
+go 1.22

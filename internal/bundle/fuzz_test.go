@@ -1,0 +1,80 @@
+package bundle
+
+import "testing"
+
+// FuzzBundleCanonical checks that canonicalization is idempotent, sorted,
+// duplicate-free, and that Key collisions imply bundle equality for
+// arbitrary byte-derived ID lists.
+func FuzzBundleCanonical(f *testing.F) {
+	f.Add([]byte{1, 2, 3})
+	f.Add([]byte{})
+	f.Add([]byte{255, 0, 255, 0})
+	f.Add([]byte{7, 7, 7, 7, 7})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		ids := make([]FileID, len(raw))
+		for i, b := range raw {
+			ids[i] = FileID(b)
+		}
+		bd := New(ids...)
+		// Idempotent.
+		if again := New(bd...); !again.Equal(bd) {
+			t.Fatalf("not idempotent: %v vs %v", bd, again)
+		}
+		// Sorted, unique, and every input member present.
+		for i := 1; i < len(bd); i++ {
+			if bd[i] <= bd[i-1] {
+				t.Fatalf("not sorted/unique at %d: %v", i, bd)
+			}
+		}
+		for _, id := range ids {
+			if !bd.Contains(id) {
+				t.Fatalf("lost member %d: %v", id, bd)
+			}
+		}
+		// Key round-trip discrimination: a bundle missing one element must
+		// have a different key.
+		if len(bd) > 0 {
+			smaller := bd.Minus(New(bd[0]))
+			if smaller.Key() == bd.Key() {
+				t.Fatalf("key collision: %v vs %v", smaller, bd)
+			}
+		}
+	})
+}
+
+// FuzzSetAlgebra cross-checks Union/Intersect/Minus against a map-based
+// model.
+func FuzzSetAlgebra(f *testing.F) {
+	f.Add([]byte{1, 2, 3}, []byte{3, 4})
+	f.Add([]byte{}, []byte{9})
+	f.Fuzz(func(t *testing.T, rawA, rawB []byte) {
+		mk := func(raw []byte) (Bundle, map[FileID]bool) {
+			ids := make([]FileID, len(raw))
+			set := make(map[FileID]bool)
+			for i, b := range raw {
+				ids[i] = FileID(b % 32)
+				set[FileID(b%32)] = true
+			}
+			return New(ids...), set
+		}
+		a, sa := mk(rawA)
+		b, sb := mk(rawB)
+		check := func(name string, got Bundle, want func(FileID) bool) {
+			seen := make(map[FileID]bool)
+			for _, id := range got {
+				if !want(id) {
+					t.Fatalf("%s: unexpected member %d", name, id)
+				}
+				seen[id] = true
+			}
+			for id := FileID(0); id < 32; id++ {
+				if want(id) && !seen[id] {
+					t.Fatalf("%s: missing member %d", name, id)
+				}
+			}
+		}
+		check("union", a.Union(b), func(id FileID) bool { return sa[id] || sb[id] })
+		check("intersect", a.Intersect(b), func(id FileID) bool { return sa[id] && sb[id] })
+		check("minus", a.Minus(b), func(id FileID) bool { return sa[id] && !sb[id] })
+	})
+}

@@ -1,0 +1,234 @@
+// Package cache models the SRM's staging disk: a byte-capacity store of
+// whole files. It tracks residency, pin counts (files a running job must not
+// lose), and cumulative traffic counters. Replacement *policy* lives
+// elsewhere (internal/core, internal/policy); this package only enforces the
+// mechanics — capacity, residency, and pinning invariants.
+package cache
+
+import (
+	"fmt"
+	"sort"
+
+	"fbcache/internal/bundle"
+)
+
+// Cache is a fixed-capacity store of whole files. Not safe for concurrent
+// use; internal/srm adds locking for the service layer.
+type Cache struct {
+	capacity bundle.Size
+	used     bundle.Size
+	resident map[bundle.FileID]bundle.Size
+	pins     map[bundle.FileID]int
+
+	// Cumulative counters since New or ResetCounters.
+	bytesLoaded  bundle.Size
+	bytesEvicted bundle.Size
+	loads        int64
+	evictions    int64
+}
+
+// New returns an empty cache with the given capacity in bytes.
+// It panics if capacity is negative.
+func New(capacity bundle.Size) *Cache {
+	if capacity < 0 {
+		panic(fmt.Sprintf("cache: negative capacity %d", capacity))
+	}
+	return &Cache{
+		capacity: capacity,
+		resident: make(map[bundle.FileID]bundle.Size),
+		pins:     make(map[bundle.FileID]int),
+	}
+}
+
+// Capacity reports the total capacity in bytes.
+func (c *Cache) Capacity() bundle.Size { return c.capacity }
+
+// Used reports the bytes currently occupied.
+func (c *Cache) Used() bundle.Size { return c.used }
+
+// Free reports the unoccupied bytes.
+func (c *Cache) Free() bundle.Size { return c.capacity - c.used }
+
+// Len reports the number of resident files.
+func (c *Cache) Len() int { return len(c.resident) }
+
+// Contains reports whether file f is resident.
+func (c *Cache) Contains(f bundle.FileID) bool {
+	_, ok := c.resident[f]
+	return ok
+}
+
+// SizeOf returns the resident size of f and whether it is resident.
+func (c *Cache) SizeOf(f bundle.FileID) (bundle.Size, bool) {
+	s, ok := c.resident[f]
+	return s, ok
+}
+
+// Supports reports whether every file of b is resident — the paper's
+// "request-hit": the cache supports r iff F(r) ⊆ F(C).
+func (c *Cache) Supports(b bundle.Bundle) bool {
+	for _, f := range b {
+		if _, ok := c.resident[f]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Missing returns the files of b that are not resident.
+func (c *Cache) Missing(b bundle.Bundle) bundle.Bundle {
+	var out bundle.Bundle
+	for _, f := range b {
+		if _, ok := c.resident[f]; !ok {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// MissingBytes reports the total size of b's non-resident files under sizeOf.
+func (c *Cache) MissingBytes(b bundle.Bundle, sizeOf bundle.SizeFunc) bundle.Size {
+	var total bundle.Size
+	for _, f := range b {
+		if _, ok := c.resident[f]; !ok {
+			total += sizeOf(f)
+		}
+	}
+	return total
+}
+
+// Insert makes f resident with the given size. It returns an error if the
+// file would not fit or is already resident (idempotent re-insertion of the
+// same size is allowed and a no-op).
+func (c *Cache) Insert(f bundle.FileID, size bundle.Size) error {
+	if size < 0 {
+		return fmt.Errorf("cache: insert %d: negative size %d", f, size)
+	}
+	if size > c.capacity {
+		return fmt.Errorf("cache: insert %d: size %d exceeds capacity %d", f, size, c.capacity)
+	}
+	if old, ok := c.resident[f]; ok {
+		if old == size {
+			return nil
+		}
+		return fmt.Errorf("cache: insert %d: already resident with size %d (new %d)", f, old, size)
+	}
+	if c.used+size > c.capacity {
+		return fmt.Errorf("cache: insert %d: need %d bytes, only %d free", f, size, c.Free())
+	}
+	c.resident[f] = size
+	c.used += size
+	c.bytesLoaded += size
+	c.loads++
+	return nil
+}
+
+// Evict removes f. It returns an error if f is pinned or not resident.
+func (c *Cache) Evict(f bundle.FileID) error {
+	size, ok := c.resident[f]
+	if !ok {
+		return fmt.Errorf("cache: evict %d: not resident", f)
+	}
+	if c.pins[f] > 0 {
+		return fmt.Errorf("cache: evict %d: pinned %d times", f, c.pins[f])
+	}
+	delete(c.resident, f)
+	c.used -= size
+	c.bytesEvicted += size
+	c.evictions++
+	return nil
+}
+
+// Pin increments f's pin count, protecting it from eviction while a job runs.
+// It returns an error if f is not resident.
+func (c *Cache) Pin(f bundle.FileID) error {
+	if _, ok := c.resident[f]; !ok {
+		return fmt.Errorf("cache: pin %d: not resident", f)
+	}
+	c.pins[f]++
+	return nil
+}
+
+// Unpin decrements f's pin count. It returns an error if f is not pinned.
+func (c *Cache) Unpin(f bundle.FileID) error {
+	if c.pins[f] <= 0 {
+		return fmt.Errorf("cache: unpin %d: not pinned", f)
+	}
+	if c.pins[f]--; c.pins[f] == 0 {
+		delete(c.pins, f)
+	}
+	return nil
+}
+
+// Pinned reports whether f has a positive pin count.
+func (c *Cache) Pinned(f bundle.FileID) bool { return c.pins[f] > 0 }
+
+// PinBundle pins every file of b, or pins nothing and returns an error if any
+// file is absent.
+func (c *Cache) PinBundle(b bundle.Bundle) error {
+	if !c.Supports(b) {
+		return fmt.Errorf("cache: pin bundle %v: not fully resident", b)
+	}
+	for _, f := range b {
+		c.pins[f]++
+	}
+	return nil
+}
+
+// UnpinBundle unpins every file of b. Errors on the first non-pinned file.
+func (c *Cache) UnpinBundle(b bundle.Bundle) error {
+	for _, f := range b {
+		if err := c.Unpin(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Resident returns the resident file IDs in ascending order.
+func (c *Cache) Resident() bundle.Bundle {
+	out := make(bundle.Bundle, 0, len(c.resident))
+	for f := range c.resident {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Counters reports cumulative traffic since construction or ResetCounters.
+func (c *Cache) Counters() (bytesLoaded, bytesEvicted bundle.Size, loads, evictions int64) {
+	return c.bytesLoaded, c.bytesEvicted, c.loads, c.evictions
+}
+
+// ResetCounters zeroes the cumulative counters; residency is unaffected.
+func (c *Cache) ResetCounters() {
+	c.bytesLoaded, c.bytesEvicted, c.loads, c.evictions = 0, 0, 0, 0
+}
+
+// CheckInvariants verifies internal consistency (used == Σ sizes, pins only on
+// resident files, used ≤ capacity). Tests and the simulator's paranoid mode
+// call this; it returns a descriptive error on the first violation.
+func (c *Cache) CheckInvariants() error {
+	var sum bundle.Size
+	for f, s := range c.resident {
+		if s < 0 {
+			return fmt.Errorf("cache: file %d has negative size %d", f, s)
+		}
+		sum += s
+	}
+	if sum != c.used {
+		return fmt.Errorf("cache: used=%d but sizes sum to %d", c.used, sum)
+	}
+	if c.used > c.capacity {
+		return fmt.Errorf("cache: used %d exceeds capacity %d", c.used, c.capacity)
+	}
+	for f, p := range c.pins {
+		if p < 0 {
+			return fmt.Errorf("cache: file %d has negative pin count %d", f, p)
+		}
+		if _, ok := c.resident[f]; !ok && p > 0 {
+			return fmt.Errorf("cache: file %d pinned but not resident", f)
+		}
+	}
+	return nil
+}

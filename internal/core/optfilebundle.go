@@ -1,0 +1,374 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"fbcache/internal/bundle"
+	"fbcache/internal/cache"
+	"fbcache/internal/history"
+)
+
+// Options configures an OptFileBundle policy instance.
+type Options struct {
+	// History configures the L(R) structure (truncation, limits).
+	History history.Config
+	// Resort enables the "Note" variant of OptCacheSelect (default in all
+	// constructors; the literal Algorithm 1 is used when false).
+	Resort bool
+	// Prefetch enables the literal Algorithm 2 Step 3: files of selected
+	// historical requests that are not resident are fetched eagerly
+	// (F(Opt) \ F(C)). When false (the default), the selection only decides
+	// which resident files to keep — no speculative traffic.
+	Prefetch bool
+	// SeedK, when > 0, uses SelectSeeded with this k on every replacement
+	// decision. Expensive; intended for small candidate sets and the bound
+	// ablation.
+	SeedK int
+	// LiteralEvict evicts every resident file outside the keep-set even when
+	// the incoming request would fit without those evictions (the literal
+	// cache rebuild of Algorithm 2). When false (default) eviction is lazy:
+	// non-keep files leave only until enough space is free, lowest file
+	// degree first.
+	LiteralEvict bool
+	// DecayEvery, when > 0, ages the history every N admissions by
+	// multiplying all request values by DecayFactor (default 0.5), dropping
+	// entries below 0.01. The paper's counters never forget; aging lets a
+	// long-running cache follow workload drift.
+	DecayEvery  int
+	DecayFactor float64
+}
+
+// Result reports what one Admit call did.
+type Result struct {
+	// Hit is the request-hit indicator: every file was already resident.
+	Hit bool
+	// BytesRequested is the total size of the request's bundle.
+	BytesRequested bundle.Size
+	// BytesLoaded is the miss traffic this admission caused (including
+	// prefetch traffic when enabled). The byte miss ratio of a run is
+	// Σ BytesLoaded / Σ BytesRequested.
+	BytesLoaded bundle.Size
+	// FilesLoaded and FilesEvicted count file movements.
+	FilesLoaded  int
+	FilesEvicted int
+	// Loaded lists the files fetched by this admission (demand + prefetch),
+	// so timed simulators can schedule the actual transfers.
+	Loaded bundle.Bundle
+	// Evicted lists the files this admission pushed out, so store-backed
+	// deployments can delete the bytes.
+	Evicted bundle.Bundle
+	// Unserviceable marks requests whose bundle exceeds the cache capacity;
+	// no loading is attempted for them.
+	Unserviceable bool
+}
+
+// OptFileBundle is the paper's replacement policy (Algorithm 2) bound to a
+// cache and a request history. Create instances with New; the zero value is
+// not usable.
+type OptFileBundle struct {
+	cache  *cache.Cache
+	hist   *history.History
+	sizeOf bundle.SizeFunc
+	opts   Options
+
+	// Per-Admit scratch, written by replace. OptFileBundle is
+	// single-goroutine by contract (the SRM layer serializes).
+	lastEvicted      int
+	lastEvictedFiles []bundle.FileID
+	prefetchBytes    bundle.Size
+	prefetchFiles    int
+	prefetched       []bundle.FileID
+	admissions       int64
+}
+
+// New builds an OptFileBundle policy over a fresh cache of the given
+// capacity. sizeOf must report the size of every file that can be requested.
+func New(capacity bundle.Size, sizeOf bundle.SizeFunc, opts Options) *OptFileBundle {
+	if sizeOf == nil {
+		panic("core: nil SizeFunc")
+	}
+	opts.Resort = true // constructors default to the practical variant
+	return &OptFileBundle{
+		cache:  cache.New(capacity),
+		hist:   history.New(opts.History),
+		sizeOf: sizeOf,
+		opts:   opts,
+	}
+}
+
+// NewWithOptions is like New but honours opts.Resort as given, allowing the
+// literal Algorithm 1 greedy to be selected for ablation studies.
+func NewWithOptions(capacity bundle.Size, sizeOf bundle.SizeFunc, opts Options) *OptFileBundle {
+	if sizeOf == nil {
+		panic("core: nil SizeFunc")
+	}
+	return &OptFileBundle{
+		cache:  cache.New(capacity),
+		hist:   history.New(opts.History),
+		sizeOf: sizeOf,
+		opts:   opts,
+	}
+}
+
+// Name identifies the policy in experiment output.
+func (p *OptFileBundle) Name() string {
+	if p.opts.SeedK > 0 {
+		return fmt.Sprintf("optfilebundle-k%d", p.opts.SeedK)
+	}
+	if !p.opts.Resort {
+		return "optfilebundle-literal"
+	}
+	return "optfilebundle"
+}
+
+// Cache exposes the underlying cache (read-mostly; used by the SRM layer and
+// tests).
+func (p *OptFileBundle) Cache() *cache.Cache { return p.cache }
+
+// History exposes the underlying L(R) structure.
+func (p *OptFileBundle) History() *history.History { return p.hist }
+
+// Admit processes one job request (Algorithm 2). On a request-hit nothing
+// moves. On a miss the policy reserves space for the bundle, re-selects the
+// most valuable historical requests for the remaining capacity via
+// OptCacheSelect, evicts accordingly, and loads the missing files.
+func (p *OptFileBundle) Admit(b bundle.Bundle) Result {
+	res := Result{BytesRequested: b.TotalSize(p.sizeOf)}
+
+	if res.BytesRequested > p.cache.Capacity() {
+		res.Unserviceable = true
+		p.hist.Observe(b) // the request still informs popularity
+		p.maybeDecay()
+		return res
+	}
+
+	if p.cache.Supports(b) {
+		res.Hit = true
+		p.hist.Observe(b)
+		p.maybeDecay()
+		return res
+	}
+
+	missing := p.cache.Missing(b)
+	needed := missing.TotalSize(p.sizeOf)
+
+	if p.cache.Free() < needed || p.opts.LiteralEvict {
+		p.replace(b, needed)
+	}
+
+	for _, f := range missing {
+		if err := p.cache.Insert(f, p.sizeOf(f)); err != nil {
+			// Space was sized above; an error here means pinned files block
+			// the replacement. Surface loudly: the SRM layer must serialize.
+			panic(fmt.Sprintf("core: load after replacement failed: %v", err))
+		}
+		res.FilesLoaded++
+		res.BytesLoaded += p.sizeOf(f)
+		res.Loaded = append(res.Loaded, f)
+	}
+	res.FilesEvicted = p.lastEvicted
+	res.Evicted = bundle.New(p.lastEvictedFiles...)
+
+	if p.opts.Prefetch {
+		res.BytesLoaded += p.prefetchBytes
+		res.FilesLoaded += p.prefetchFiles
+		res.Loaded = append(res.Loaded, p.prefetched...)
+	}
+	res.Loaded = bundle.FromSlice(res.Loaded)
+
+	// Step 4: update L(R) after the replacement decision, as printed.
+	p.hist.Observe(b)
+	p.maybeDecay()
+	return res
+}
+
+// maybeDecay ages the history on the configured cadence.
+func (p *OptFileBundle) maybeDecay() {
+	p.admissions++
+	if p.opts.DecayEvery <= 0 || p.admissions%int64(p.opts.DecayEvery) != 0 {
+		return
+	}
+	factor := p.opts.DecayFactor
+	if factor <= 0 || factor > 1 {
+		factor = 0.5
+	}
+	p.hist.Decay(factor, 0.01)
+}
+
+// replace frees space for an incoming bundle b whose missing files need
+// `needed` bytes, using OptCacheSelect to decide what to keep.
+func (p *OptFileBundle) replace(b bundle.Bundle, needed bundle.Size) {
+	p.lastEvicted = 0
+	p.lastEvictedFiles = p.lastEvictedFiles[:0]
+	p.prefetchBytes = 0
+	p.prefetchFiles = 0
+	p.prefetched = p.prefetched[:0]
+
+	sel := p.runSelection(b)
+
+	keep := make(map[bundle.FileID]bool, len(sel.Files)+len(b))
+	for _, f := range sel.Files {
+		keep[f] = true
+	}
+	for _, f := range b {
+		keep[f] = true
+	}
+
+	resident := p.cache.Resident()
+	var evictable bundle.Bundle
+	for _, f := range resident {
+		if !keep[f] && !p.cache.Pinned(f) {
+			evictable = append(evictable, f)
+		}
+	}
+
+	if p.opts.LiteralEvict {
+		for _, f := range evictable {
+			if err := p.cache.Evict(f); err == nil {
+				p.lastEvicted++
+				p.lastEvictedFiles = append(p.lastEvictedFiles, f)
+			}
+		}
+	} else {
+		p.evictLazy(evictable, needed)
+	}
+
+	// If pinned non-keep files block the space we need, shed unpinned
+	// keep-set files (cheapest first) as a last resort.
+	if p.cache.Free() < needed {
+		p.shedKeep(b, needed)
+	}
+
+	if p.opts.Prefetch {
+		for _, f := range sel.Files {
+			// Files of the incoming bundle are demand-loaded by Admit;
+			// prefetch only pulls other selected files.
+			if b.Contains(f) || p.cache.Contains(f) {
+				continue
+			}
+			size := p.sizeOf(f)
+			// Never consume the space reserved for the incoming bundle's
+			// missing files.
+			if p.cache.Free()-size < needed {
+				continue
+			}
+			if err := p.cache.Insert(f, size); err == nil {
+				p.prefetchBytes += size
+				p.prefetchFiles++
+				p.prefetched = append(p.prefetched, f)
+			}
+		}
+	}
+}
+
+// runSelection converts the (possibly truncated) history candidates into
+// Select inputs and runs OptCacheSelect with the incoming bundle's space
+// reserved (Free = b, capacity reduced by s(F(b))).
+func (p *OptFileBundle) runSelection(b bundle.Bundle) Selection {
+	entries := p.hist.Candidates()
+	if p.opts.History.Truncation == history.CacheResident {
+		// §5.3: offer only the requests the cache currently supports (plus
+		// whatever overlaps the incoming bundle, which is Free anyway).
+		// Degrees and values still come from the global history.
+		filtered := entries[:0]
+		for _, e := range entries {
+			if p.cache.Supports(e.Bundle.Minus(b)) {
+				filtered = append(filtered, e)
+			}
+		}
+		entries = filtered
+	}
+	cands := make([]Candidate, len(entries))
+	for i, e := range entries {
+		cands[i] = Candidate{Bundle: e.Bundle, Value: e.Value}
+	}
+	opts := SelectOptions{
+		SizeOf:   p.sizeOf,
+		DegreeOf: p.hist.CandidateDegreeFunc(entries),
+		Resort:   p.opts.Resort,
+		Free:     b,
+	}
+	budget := p.cache.Capacity() - b.TotalSize(p.sizeOf)
+	if p.opts.SeedK > 0 {
+		return SelectSeeded(cands, budget, p.opts.SeedK, opts)
+	}
+	return Select(cands, budget, opts)
+}
+
+// RelativeValue scores a pending request for queue scheduling (§5.2
+// "Incoming Queue Length", §5.3 queued experiments): the request's history
+// value (1 if unseen) divided by the adjusted sizes of its files *not yet in
+// the cache*. Fully resident requests score +Inf, so a queue drained in
+// decreasing RelativeValue order serves request-hits first, then the
+// cheapest valuable misses — exactly the paper's "serve the request of
+// highest relative value in the queue" rule.
+func (p *OptFileBundle) RelativeValue(b bundle.Bundle) float64 {
+	value := 1.0
+	if e, ok := p.hist.Lookup(b); ok {
+		value = e.Value
+	}
+	deg := p.hist.DegreeFunc()
+	denom := 0.0
+	for _, f := range b {
+		if p.cache.Contains(f) {
+			continue
+		}
+		denom += float64(p.sizeOf(f)) / float64(deg(f))
+	}
+	if denom == 0 {
+		return math.Inf(1)
+	}
+	return value / denom
+}
+
+// evictLazy removes files from evictable, lowest degree first, until the
+// cache can absorb `needed` bytes.
+func (p *OptFileBundle) evictLazy(evictable bundle.Bundle, needed bundle.Size) {
+	if p.cache.Free() >= needed {
+		return
+	}
+	deg := p.hist.DegreeFunc()
+	sort.Slice(evictable, func(i, j int) bool {
+		di, dj := deg(evictable[i]), deg(evictable[j])
+		if di != dj {
+			return di < dj
+		}
+		return evictable[i] < evictable[j]
+	})
+	for _, f := range evictable {
+		if p.cache.Free() >= needed {
+			return
+		}
+		if err := p.cache.Evict(f); err == nil {
+			p.lastEvicted++
+			p.lastEvictedFiles = append(p.lastEvictedFiles, f)
+		}
+	}
+}
+
+// shedKeep evicts unpinned keep-set files not required by b, smallest value
+// first, until `needed` bytes are free. This only triggers when pins
+// prevented normal replacement.
+func (p *OptFileBundle) shedKeep(b bundle.Bundle, needed bundle.Size) {
+	inB := make(map[bundle.FileID]bool, len(b))
+	for _, f := range b {
+		inB[f] = true
+	}
+	resident := p.cache.Resident()
+	deg := p.hist.DegreeFunc()
+	sort.Slice(resident, func(i, j int) bool { return deg(resident[i]) < deg(resident[j]) })
+	for _, f := range resident {
+		if p.cache.Free() >= needed {
+			return
+		}
+		if inB[f] || p.cache.Pinned(f) {
+			continue
+		}
+		if err := p.cache.Evict(f); err == nil {
+			p.lastEvicted++
+			p.lastEvictedFiles = append(p.lastEvictedFiles, f)
+		}
+	}
+}

@@ -1,0 +1,325 @@
+// Package core implements the paper's primary contribution: the
+// OptCacheSelect greedy selection heuristic (Algorithm 1) and the
+// OptFileBundle cache replacement policy (Algorithm 2).
+//
+// OptCacheSelect solves (approximately) the File-Bundle Caching problem:
+// given requests r with values v(r) over files f with sizes s(f), pick a
+// subset of requests of maximum total value whose files fit in a cache of
+// size s(C). The greedy ranks requests by adjusted relative value
+//
+//	v'(r) = v(r) / Σ_{f ∈ F(r)} s'(f),   s'(f) = s(f)/d(f)
+//
+// where d(f) is the number of distinct requests needing f. Theorem 4.1 in
+// the paper shows the greedy (with the Step-3 single-request guard) achieves
+// at least ½(1 − e^{−1/d}) of the optimal value, and the k-seeded variant
+// (SelectSeeded) achieves (1 − e^{−1/d}).
+package core
+
+import (
+	"math"
+	"sort"
+
+	"fbcache/internal/bundle"
+)
+
+// Candidate is one request offered to the selection algorithm.
+type Candidate struct {
+	Bundle bundle.Bundle
+	Value  float64
+}
+
+// SelectOptions configures OptCacheSelect.
+type SelectOptions struct {
+	// SizeOf reports file sizes. Required.
+	SizeOf bundle.SizeFunc
+	// DegreeOf reports d(f), the number of distinct requests using f.
+	// Values below 1 are clamped to 1. Required.
+	DegreeOf func(bundle.FileID) int
+	// Resort enables the paper's "Note" improvement: after each pick, files
+	// already selected cost zero and the remaining candidates re-rank.
+	// When false the literal Algorithm 1 runs: a single static ranking, each
+	// request charged its full bundle size (this is the variant analyzed in
+	// Appendix A).
+	Resort bool
+	// Free lists files that occupy no selection budget (their space is
+	// reserved elsewhere — OptFileBundle reserves the incoming request's
+	// bundle this way).
+	Free bundle.Bundle
+}
+
+// Selection is the outcome of OptCacheSelect.
+type Selection struct {
+	// Chosen holds indices into the candidate slice, in selection order.
+	Chosen []int
+	// Files is the union of the chosen candidates' files (Free files
+	// included when they appear in chosen bundles).
+	Files bundle.Bundle
+	// Value is the total value of the chosen candidates.
+	Value float64
+	// SingleWinner reports that Step 3 replaced the greedy set with the
+	// single highest-value request.
+	SingleWinner bool
+	// BudgetUsed is the cache space charged against capacity.
+	BudgetUsed bundle.Size
+}
+
+// Select runs OptCacheSelect over cands with the given capacity.
+// Candidates whose charged size exceeds the capacity are skipped, exactly as
+// Step 2 skips requests with insufficient space.
+func Select(cands []Candidate, capacity bundle.Size, opts SelectOptions) Selection {
+	if opts.SizeOf == nil || opts.DegreeOf == nil {
+		panic("core: SelectOptions requires SizeOf and DegreeOf")
+	}
+	if capacity < 0 {
+		capacity = 0
+	}
+	if opts.Resort {
+		return selectResortFast(cands, capacity, opts, nil)
+	}
+	return selectLiteral(cands, capacity, opts)
+}
+
+// SelectSeeded implements the improved-bound variant sketched at the end of
+// §4: every subset of up to k candidates is tried as a forced seed, the
+// greedy completes each partial solution, and the best candidate solution
+// wins. k = 1 or 2 gives the (1 − e^{−1/d}) bound at polynomial cost.
+// k <= 0 degenerates to Select. The seeded variant always uses the resort
+// greedy for completion.
+func SelectSeeded(cands []Candidate, capacity bundle.Size, k int, opts SelectOptions) Selection {
+	best := Select(cands, capacity, opts)
+	if k <= 0 {
+		return best
+	}
+	consider := func(sel Selection, ok bool) {
+		if ok && sel.Value > best.Value {
+			best = sel
+		}
+	}
+	// k = 1 seeds.
+	for i := range cands {
+		consider(selectWithSeeds(cands, capacity, opts, []int{i}))
+	}
+	if k >= 2 {
+		for i := range cands {
+			for j := i + 1; j < len(cands); j++ {
+				consider(selectWithSeeds(cands, capacity, opts, []int{i, j}))
+			}
+		}
+	}
+	return best
+}
+
+// selectWithSeeds forces the seed candidates into the solution (if they fit)
+// and completes greedily. ok is false when the seeds alone overflow capacity.
+func selectWithSeeds(cands []Candidate, capacity bundle.Size, opts SelectOptions, seeds []int) (Selection, bool) {
+	opts.Resort = true
+	sel := selectResortFast(cands, capacity, opts, seeds)
+	if sel.Chosen == nil && len(seeds) > 0 {
+		return sel, false
+	}
+	// Verify all seeds made it (they might not fit).
+	chosen := make(map[int]bool, len(sel.Chosen))
+	for _, i := range sel.Chosen {
+		chosen[i] = true
+	}
+	for _, s := range seeds {
+		if !chosen[s] {
+			return sel, false
+		}
+	}
+	return sel, true
+}
+
+// adjustedDenominator computes Σ s'(f) over files of b not in skip,
+// where s'(f) = s(f)/max(d(f),1).
+func adjustedDenominator(b bundle.Bundle, opts SelectOptions, skip map[bundle.FileID]bool) float64 {
+	var denom float64
+	for _, f := range b {
+		if skip != nil && skip[f] {
+			continue
+		}
+		d := opts.DegreeOf(f)
+		if d < 1 {
+			d = 1
+		}
+		denom += float64(opts.SizeOf(f)) / float64(d)
+	}
+	return denom
+}
+
+// chargedSize computes the real bytes b adds beyond files in skip.
+func chargedSize(b bundle.Bundle, sizeOf bundle.SizeFunc, skip map[bundle.FileID]bool) bundle.Size {
+	var total bundle.Size
+	for _, f := range b {
+		if skip != nil && skip[f] {
+			continue
+		}
+		total += sizeOf(f)
+	}
+	return total
+}
+
+func freeSet(free bundle.Bundle) map[bundle.FileID]bool {
+	if len(free) == 0 {
+		return nil
+	}
+	m := make(map[bundle.FileID]bool, len(free))
+	for _, f := range free {
+		m[f] = true
+	}
+	return m
+}
+
+// selectLiteral is Algorithm 1 as printed: one static sort by v'(r), each
+// selected request charged its full (non-Free) bundle size, then the Step-3
+// single-request comparison.
+func selectLiteral(cands []Candidate, capacity bundle.Size, opts SelectOptions) Selection {
+	free := freeSet(opts.Free)
+	type ranked struct {
+		idx  int
+		vrel float64
+		size bundle.Size
+	}
+	order := make([]ranked, 0, len(cands))
+	for i, c := range cands {
+		denom := adjustedDenominator(c.Bundle, opts, free)
+		size := chargedSize(c.Bundle, opts.SizeOf, free)
+		vrel := math.Inf(1)
+		if denom > 0 {
+			vrel = c.Value / denom
+		}
+		order = append(order, ranked{idx: i, vrel: vrel, size: size})
+	}
+	sort.SliceStable(order, func(a, b int) bool { return order[a].vrel > order[b].vrel })
+
+	var sel Selection
+	files := make(map[bundle.FileID]bool)
+	budget := capacity
+	for _, r := range order {
+		if r.size > budget {
+			continue // skip: insufficient space (Step 2)
+		}
+		budget -= r.size
+		sel.BudgetUsed += r.size
+		sel.Chosen = append(sel.Chosen, r.idx)
+		sel.Value += cands[r.idx].Value
+		for _, f := range cands[r.idx].Bundle {
+			files[f] = true
+		}
+	}
+	sel.Files = setToBundle(files)
+	return applyStepThree(sel, cands, capacity, opts, free)
+}
+
+// selectResortReference is the direct transcription of the Note variant:
+// after each pick, files already selected (or Free) cost nothing — both in
+// the ranking denominator and in the budget — and remaining candidates
+// re-rank. It recomputes candidate charges from scratch every round;
+// selectResortFast (select_fast.go) is the incremental equivalent used in
+// production, and the TestQuickFastMatchesReference property test keeps the
+// two in lockstep.
+func selectResortReference(cands []Candidate, capacity bundle.Size, opts SelectOptions, seeds []int) Selection {
+	// skip holds Free files plus every file selected so far; such files are
+	// charged neither space nor ranking denominator.
+	skip := make(map[bundle.FileID]bool, len(opts.Free))
+	for _, f := range opts.Free {
+		skip[f] = true
+	}
+	chosenFiles := make(map[bundle.FileID]bool)
+
+	var sel Selection
+	budget := capacity
+	taken := make([]bool, len(cands))
+
+	pick := func(i int) bool {
+		size := chargedSize(cands[i].Bundle, opts.SizeOf, skip)
+		if size > budget {
+			return false
+		}
+		budget -= size
+		sel.BudgetUsed += size
+		sel.Chosen = append(sel.Chosen, i)
+		sel.Value += cands[i].Value
+		taken[i] = true
+		for _, f := range cands[i].Bundle {
+			skip[f] = true
+			chosenFiles[f] = true
+		}
+		return true
+	}
+
+	for _, s := range seeds {
+		if s < 0 || s >= len(cands) || taken[s] {
+			continue
+		}
+		if !pick(s) {
+			// Seed does not fit: signal failure with nil Chosen.
+			return Selection{}
+		}
+	}
+
+	for {
+		bestIdx, bestV := -1, math.Inf(-1)
+		for i, c := range cands {
+			if taken[i] {
+				continue
+			}
+			size := chargedSize(c.Bundle, opts.SizeOf, skip)
+			if size > budget {
+				continue
+			}
+			denom := adjustedDenominator(c.Bundle, opts, skip)
+			v := math.Inf(1)
+			if denom > 0 {
+				v = c.Value / denom
+			}
+			if v > bestV || (v == bestV && bestIdx >= 0 && c.Value > cands[bestIdx].Value) {
+				bestIdx, bestV = i, v
+			}
+		}
+		if bestIdx < 0 {
+			break
+		}
+		pick(bestIdx)
+	}
+
+	sel.Files = setToBundle(chosenFiles)
+	return applyStepThree(sel, cands, capacity, opts, freeSet(opts.Free))
+}
+
+// applyStepThree implements Step 3: the answer is the max of the greedy set
+// and the single highest-value request that fits by itself.
+func applyStepThree(sel Selection, cands []Candidate, capacity bundle.Size, opts SelectOptions, free map[bundle.FileID]bool) Selection {
+	bestIdx, bestVal := -1, 0.0
+	for i, c := range cands {
+		if c.Value <= bestVal {
+			continue
+		}
+		if chargedSize(c.Bundle, opts.SizeOf, free) > capacity {
+			continue
+		}
+		bestIdx, bestVal = i, c.Value
+	}
+	if bestIdx >= 0 && bestVal > sel.Value {
+		files := make(map[bundle.FileID]bool)
+		for _, f := range cands[bestIdx].Bundle {
+			files[f] = true
+		}
+		return Selection{
+			Chosen:       []int{bestIdx},
+			Files:        setToBundle(files),
+			Value:        bestVal,
+			SingleWinner: true,
+			BudgetUsed:   chargedSize(cands[bestIdx].Bundle, opts.SizeOf, free),
+		}
+	}
+	return sel
+}
+
+func setToBundle(set map[bundle.FileID]bool) bundle.Bundle {
+	out := make([]bundle.FileID, 0, len(set))
+	for f := range set {
+		out = append(out, f)
+	}
+	return bundle.FromSlice(out)
+}

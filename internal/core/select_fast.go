@@ -1,0 +1,120 @@
+package core
+
+import (
+	"math"
+
+	"fbcache/internal/bundle"
+)
+
+// selectResortFast is an incrementally-maintained implementation of the
+// resort greedy with identical semantics to selectResortReference: instead
+// of re-walking every candidate's bundle on every round (O(rounds·n·b)), it
+// keeps each candidate's charged size and adjusted denominator up to date
+// through an inverted file→candidates index, so each round costs O(n) plus
+// the size of the newly-covered files' postings (O(total postings) across
+// the whole run).
+//
+// Equivalence with the reference implementation is enforced by the
+// TestQuickFastMatchesReference property test.
+func selectResortFast(cands []Candidate, capacity bundle.Size, opts SelectOptions, seeds []int) Selection {
+	n := len(cands)
+	size := make([]bundle.Size, n) // charged bytes if picked now
+	denom := make([]float64, n)    // Σ s'(f) over not-yet-covered files
+	taken := make([]bool, n)
+
+	// skip starts as the Free set; files become skipped as they are chosen.
+	skip := make(map[bundle.FileID]bool, len(opts.Free))
+	for _, f := range opts.Free {
+		skip[f] = true
+	}
+
+	// Inverted index over the files that can still charge candidates.
+	posting := make(map[bundle.FileID][]int)
+	for i, c := range cands {
+		for _, f := range c.Bundle {
+			if skip[f] {
+				continue
+			}
+			d := opts.DegreeOf(f)
+			if d < 1 {
+				d = 1
+			}
+			size[i] += opts.SizeOf(f)
+			denom[i] += float64(opts.SizeOf(f)) / float64(d)
+			posting[f] = append(posting[f], i)
+		}
+	}
+
+	chosenFiles := make(map[bundle.FileID]bool)
+	var sel Selection
+	budget := capacity
+
+	cover := func(f bundle.FileID) {
+		if skip[f] {
+			return
+		}
+		skip[f] = true
+		d := opts.DegreeOf(f)
+		if d < 1 {
+			d = 1
+		}
+		s := opts.SizeOf(f)
+		sp := float64(s) / float64(d)
+		for _, i := range posting[f] {
+			size[i] -= s
+			denom[i] -= sp
+			if denom[i] < 0 { // FP slack
+				denom[i] = 0
+			}
+		}
+		delete(posting, f)
+	}
+
+	pick := func(i int) bool {
+		if size[i] > budget {
+			return false
+		}
+		budget -= size[i]
+		sel.BudgetUsed += size[i]
+		sel.Chosen = append(sel.Chosen, i)
+		sel.Value += cands[i].Value
+		taken[i] = true
+		for _, f := range cands[i].Bundle {
+			chosenFiles[f] = true
+			cover(f)
+		}
+		return true
+	}
+
+	for _, s := range seeds {
+		if s < 0 || s >= n || taken[s] {
+			continue
+		}
+		if !pick(s) {
+			return Selection{} // seed does not fit
+		}
+	}
+
+	for {
+		bestIdx, bestV := -1, math.Inf(-1)
+		for i := range cands {
+			if taken[i] || size[i] > budget {
+				continue
+			}
+			v := math.Inf(1)
+			if denom[i] > 0 {
+				v = cands[i].Value / denom[i]
+			}
+			if v > bestV || (v == bestV && bestIdx >= 0 && cands[i].Value > cands[bestIdx].Value) {
+				bestIdx, bestV = i, v
+			}
+		}
+		if bestIdx < 0 {
+			break
+		}
+		pick(bestIdx)
+	}
+
+	sel.Files = setToBundle(chosenFiles)
+	return applyStepThree(sel, cands, capacity, opts, freeSet(opts.Free))
+}

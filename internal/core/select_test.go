@@ -1,0 +1,308 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"fbcache/internal/bundle"
+)
+
+// paperExample returns the reconstructed Fig. 3 instance: six equally likely
+// requests over seven unit-size files, cache capacity 3.
+//
+//	r1={f1,f3,f5} r2={f2,f4,f6,f7} r3={f1,f5} r4={f4,f6,f7} r5={f3,f5} r6={f5,f6,f7}
+//
+// File degrees (Table 1): d(f1)=2 d(f2)=1 d(f3)=2 d(f4)=2 d(f5)=4 d(f6)=3 d(f7)=3.
+func paperExample() ([]Candidate, SelectOptions) {
+	cands := []Candidate{
+		{Bundle: bundle.New(1, 3, 5), Value: 1},
+		{Bundle: bundle.New(2, 4, 6, 7), Value: 1},
+		{Bundle: bundle.New(1, 5), Value: 1},
+		{Bundle: bundle.New(4, 6, 7), Value: 1},
+		{Bundle: bundle.New(3, 5), Value: 1},
+		{Bundle: bundle.New(5, 6, 7), Value: 1},
+	}
+	degrees := map[bundle.FileID]int{1: 2, 2: 1, 3: 2, 4: 2, 5: 4, 6: 3, 7: 3}
+	opts := SelectOptions{
+		SizeOf:   func(bundle.FileID) bundle.Size { return 1 },
+		DegreeOf: func(f bundle.FileID) int { return degrees[f] },
+	}
+	return cands, opts
+}
+
+func TestPaperExampleResortFindsOptimal(t *testing.T) {
+	cands, opts := paperExample()
+	opts.Resort = true
+	sel := Select(cands, 3, opts)
+	if !sel.Files.Equal(bundle.New(1, 3, 5)) {
+		t.Errorf("Files = %v, want {f1,f3,f5} (paper Table 2 optimum)", sel.Files)
+	}
+	if sel.Value != 3 {
+		t.Errorf("Value = %v, want 3 (supports r1,r3,r5)", sel.Value)
+	}
+	if sel.SingleWinner {
+		t.Error("unexpected SingleWinner")
+	}
+	// Request-hit probability 1/2: 3 of 6 requests supported.
+	hits := 0
+	for _, c := range cands {
+		if c.Bundle.SubsetOf(sel.Files) {
+			hits++
+		}
+	}
+	if hits != 3 {
+		t.Errorf("supported requests = %d, want 3", hits)
+	}
+}
+
+func TestPaperExamplePopularityIsWorse(t *testing.T) {
+	// Table 2 row 1: the three most popular files {f5,f6,f7} support only r6.
+	cands, _ := paperExample()
+	popular := bundle.New(5, 6, 7)
+	hits := 0
+	for _, c := range cands {
+		if c.Bundle.SubsetOf(popular) {
+			hits++
+		}
+	}
+	if hits != 1 {
+		t.Errorf("popularity cache supports %d requests, paper says 1 (r6)", hits)
+	}
+}
+
+func TestPaperExampleLiteralObeysBound(t *testing.T) {
+	cands, opts := paperExample()
+	opts.Resort = false
+	sel := Select(cands, 3, opts)
+	// The literal greedy picks r3={f1,f5} (v'=4/3), then every remaining
+	// request's full size exceeds the leftover budget of 1.
+	if sel.Value < 1 {
+		t.Fatalf("Value = %v", sel.Value)
+	}
+	// Theorem 4.1: value >= 1/2(1-e^{-1/d}) * OPT with OPT=3, d=4.
+	bound := 0.5 * (1 - math.Exp(-0.25)) * 3
+	if sel.Value < bound {
+		t.Errorf("Value %v below Theorem 4.1 bound %v", sel.Value, bound)
+	}
+}
+
+func TestSelectEmptyCandidates(t *testing.T) {
+	opts := SelectOptions{
+		SizeOf:   func(bundle.FileID) bundle.Size { return 1 },
+		DegreeOf: func(bundle.FileID) int { return 1 },
+		Resort:   true,
+	}
+	sel := Select(nil, 100, opts)
+	if sel.Value != 0 || len(sel.Chosen) != 0 || sel.Files.Len() != 0 {
+		t.Errorf("empty selection = %+v", sel)
+	}
+}
+
+func TestSelectZeroCapacity(t *testing.T) {
+	cands := []Candidate{{Bundle: bundle.New(1), Value: 5}}
+	opts := SelectOptions{
+		SizeOf:   func(bundle.FileID) bundle.Size { return 10 },
+		DegreeOf: func(bundle.FileID) int { return 1 },
+		Resort:   true,
+	}
+	sel := Select(cands, 0, opts)
+	if sel.Value != 0 {
+		t.Errorf("zero-capacity selection picked value %v", sel.Value)
+	}
+	// Negative capacity clamps to zero rather than panicking.
+	sel = Select(cands, -5, opts)
+	if sel.Value != 0 {
+		t.Errorf("negative-capacity selection picked value %v", sel.Value)
+	}
+}
+
+func TestSelectStepThreeSingleWinner(t *testing.T) {
+	// Greedy (by relative value) prefers many small low-value requests; a
+	// single huge-value request must win via Step 3.
+	cands := []Candidate{
+		{Bundle: bundle.New(1), Value: 1},
+		{Bundle: bundle.New(2), Value: 1},
+		{Bundle: bundle.New(3, 4, 5, 6, 7, 8, 9, 10), Value: 100},
+	}
+	sizes := func(f bundle.FileID) bundle.Size {
+		if f <= 2 {
+			return 1
+		}
+		return 1 // all unit; big request needs 8 of 8 capacity
+	}
+	opts := SelectOptions{
+		SizeOf:   sizes,
+		DegreeOf: func(bundle.FileID) int { return 1 },
+		Resort:   true,
+	}
+	// v'(small) = 1/1 = 1; v'(big) = 100/8 = 12.5 — big is picked first here,
+	// so force the greedy away from it by capacity: cap 8 fits big alone; the
+	// greedy picks big first anyway. Use resort=false with a crafted ranking
+	// instead: degree inflation makes the small ones rank higher.
+	deg := func(f bundle.FileID) int {
+		if f <= 2 {
+			return 100 // tiny adjusted size -> huge relative value
+		}
+		return 1
+	}
+	opts.DegreeOf = deg
+	opts.Resort = false
+	sel := Select(cands, 8, opts)
+	if !sel.SingleWinner {
+		t.Fatalf("expected SingleWinner, got %+v", sel)
+	}
+	if sel.Value != 100 {
+		t.Errorf("Value = %v, want 100", sel.Value)
+	}
+	if !sel.Files.Equal(bundle.New(3, 4, 5, 6, 7, 8, 9, 10)) {
+		t.Errorf("Files = %v", sel.Files)
+	}
+}
+
+func TestSelectFreeFilesCostNothing(t *testing.T) {
+	cands := []Candidate{
+		{Bundle: bundle.New(1, 2), Value: 1}, // f1 free -> charges only f2
+	}
+	opts := SelectOptions{
+		SizeOf:   func(bundle.FileID) bundle.Size { return 10 },
+		DegreeOf: func(bundle.FileID) int { return 1 },
+		Resort:   true,
+		Free:     bundle.New(1),
+	}
+	sel := Select(cands, 10, opts)
+	if len(sel.Chosen) != 1 {
+		t.Fatalf("Chosen = %v, want the one candidate", sel.Chosen)
+	}
+	if sel.BudgetUsed != 10 {
+		t.Errorf("BudgetUsed = %d, want 10 (only f2 charged)", sel.BudgetUsed)
+	}
+	// Without Free the candidate needs 20 > 10 and is skipped.
+	opts.Free = nil
+	sel = Select(cands, 10, opts)
+	if len(sel.Chosen) != 0 {
+		t.Errorf("Chosen = %v, want none", sel.Chosen)
+	}
+}
+
+func TestSelectSharedFilesChargedOnceInResort(t *testing.T) {
+	// Two requests share f1; the resort variant charges f1 once.
+	cands := []Candidate{
+		{Bundle: bundle.New(1, 2), Value: 2},
+		{Bundle: bundle.New(1, 3), Value: 2},
+	}
+	opts := SelectOptions{
+		SizeOf:   func(bundle.FileID) bundle.Size { return 4 },
+		DegreeOf: func(bundle.FileID) int { return 1 },
+		Resort:   true,
+	}
+	sel := Select(cands, 12, opts)
+	if len(sel.Chosen) != 2 {
+		t.Fatalf("resort selected %d candidates, want 2 (shared file charged once)", len(sel.Chosen))
+	}
+	if sel.BudgetUsed != 12 {
+		t.Errorf("BudgetUsed = %d, want 12", sel.BudgetUsed)
+	}
+	// The literal variant double-charges and can only fit one.
+	opts.Resort = false
+	sel = Select(cands, 12, opts)
+	if len(sel.Chosen) != 1 {
+		t.Errorf("literal selected %d candidates, want 1", len(sel.Chosen))
+	}
+}
+
+func TestSelectDegreeFloor(t *testing.T) {
+	// DegreeOf returning 0 must not divide by zero.
+	cands := []Candidate{{Bundle: bundle.New(1), Value: 1}}
+	opts := SelectOptions{
+		SizeOf:   func(bundle.FileID) bundle.Size { return 2 },
+		DegreeOf: func(bundle.FileID) int { return 0 },
+		Resort:   true,
+	}
+	sel := Select(cands, 2, opts)
+	if len(sel.Chosen) != 1 {
+		t.Errorf("Chosen = %v", sel.Chosen)
+	}
+}
+
+func TestSelectZeroSizeFiles(t *testing.T) {
+	// All-zero-size bundles have +Inf relative value and zero charge; every
+	// candidate must be selected without looping forever.
+	cands := []Candidate{
+		{Bundle: bundle.New(1), Value: 1},
+		{Bundle: bundle.New(2), Value: 2},
+	}
+	opts := SelectOptions{
+		SizeOf:   func(bundle.FileID) bundle.Size { return 0 },
+		DegreeOf: func(bundle.FileID) int { return 1 },
+		Resort:   true,
+	}
+	sel := Select(cands, 0, opts)
+	if len(sel.Chosen) != 2 || sel.Value != 3 {
+		t.Errorf("sel = %+v", sel)
+	}
+}
+
+func TestSelectPanicsWithoutFuncs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Select(nil, 1, SelectOptions{})
+}
+
+func TestSelectSeededAtLeastGreedy(t *testing.T) {
+	cands, opts := paperExample()
+	opts.Resort = true
+	plain := Select(cands, 3, opts)
+	for k := 0; k <= 2; k++ {
+		seeded := SelectSeeded(cands, 3, k, opts)
+		if seeded.Value < plain.Value {
+			t.Errorf("k=%d seeded value %v < greedy %v", k, seeded.Value, plain.Value)
+		}
+	}
+}
+
+func TestSelectSeededBeatsGreedyOnAdversarialInstance(t *testing.T) {
+	// Greedy takes the high relative-value bait and strands capacity;
+	// seeding with the bulky pair recovers the optimum.
+	//
+	// cap = 10. bait: value 3, size 3 (v' = 1). bulky: two requests of value
+	// 5, size 5 each (v' = 1 each, but break ties after bait via order).
+	cands := []Candidate{
+		{Bundle: bundle.New(1, 2, 3), Value: 4},      // size 3, v' = 4/3 — picked first
+		{Bundle: bundle.New(4, 5, 6, 7), Value: 5},   // size 4
+		{Bundle: bundle.New(8, 9, 10, 11), Value: 5}, // size 4
+	}
+	opts := SelectOptions{
+		SizeOf:   func(bundle.FileID) bundle.Size { return 1 },
+		DegreeOf: func(bundle.FileID) int { return 1 },
+		Resort:   true,
+	}
+	// Greedy: picks bait (v'=1.33), then one bulky (budget 8-3=5 -> fits one
+	// size-4), total 9, no room for third (4 > 1). Value = 9.
+	plain := Select(cands, 8, opts)
+	if plain.Value != 9 {
+		t.Fatalf("greedy value = %v, want 9 (bait+one bulky)", plain.Value)
+	}
+	// Optimal: both bulky = 10.
+	seeded := SelectSeeded(cands, 8, 2, opts)
+	if seeded.Value != 10 {
+		t.Errorf("seeded k=2 value = %v, want 10", seeded.Value)
+	}
+}
+
+func TestSelectionOrderDeterministic(t *testing.T) {
+	cands, opts := paperExample()
+	opts.Resort = true
+	a := Select(cands, 3, opts)
+	b := Select(cands, 3, opts)
+	if a.Value != b.Value || !a.Files.Equal(b.Files) || len(a.Chosen) != len(b.Chosen) {
+		t.Error("Select is nondeterministic")
+	}
+	for i := range a.Chosen {
+		if a.Chosen[i] != b.Chosen[i] {
+			t.Error("selection order differs between runs")
+		}
+	}
+}

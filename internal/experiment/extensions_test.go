@@ -1,0 +1,135 @@
+package experiment
+
+import (
+	"testing"
+
+	"fbcache/internal/workload"
+)
+
+func TestHybridStudyShapes(t *testing.T) {
+	tab, err := testConfig().HybridStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for _, series := range []string{"uniform", "zipf"} {
+		vals, err := tab.SeriesValues(series)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range vals {
+			if v <= 0 || v > 1 {
+				t.Errorf("%s row %d: byte miss %v out of range", series, i, v)
+			}
+		}
+		// The two service extremes must be in the same regime (within 2x) —
+		// byte accounting is model-independent.
+		if vals[0] > 2*vals[len(vals)-1] || vals[len(vals)-1] > 2*vals[0] {
+			t.Errorf("%s: service model changed byte miss regime: %v", series, vals)
+		}
+	}
+}
+
+func TestRequestSizeStudyShapes(t *testing.T) {
+	tab, err := testConfig().RequestSizeStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, _ := tab.SeriesValues("optfilebundle")
+	ll, _ := tab.SeriesValues("landlord")
+	csr, _ := tab.SeriesValues("cache size (requests)")
+	for i := range opt {
+		if opt[i] >= ll[i] {
+			t.Errorf("row %d: opt %.4f not below landlord %.4f", i, opt[i], ll[i])
+		}
+	}
+	// Bigger bundles -> fewer requests fit -> miss ratio rises (tolerantly
+	// monotone) and cache-size-in-requests falls.
+	if opt[0] >= opt[len(opt)-1] {
+		t.Errorf("opt miss did not rise with bundle size: %v", opt)
+	}
+	if csr[0] <= csr[len(csr)-1] {
+		t.Errorf("cache size in requests did not fall: %v", csr)
+	}
+}
+
+func TestSaturationStudyShapes(t *testing.T) {
+	cfg := testConfig()
+	cfg.Jobs = 600
+	tab, err := cfg.SaturationStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, _ := tab.SeriesValues("optfilebundle")
+	ll, _ := tab.SeriesValues("landlord")
+	// Responses grow with load for both policies.
+	if opt[len(opt)-1] <= opt[0] {
+		t.Errorf("opt response did not grow with load: %v", opt)
+	}
+	// At the highest load the better cache policy responds faster.
+	last := len(opt) - 1
+	if opt[last] >= ll[last] {
+		t.Errorf("at saturation opt %.1fs not below landlord %.1fs", opt[last], ll[last])
+	}
+}
+
+func TestShardingStudyShapes(t *testing.T) {
+	tab, err := testConfig().ShardingStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, series := range []string{"uniform", "zipf"} {
+		vals, _ := tab.SeriesValues(series)
+		// More nodes never helps byte miss (same total bytes, fragmented).
+		if vals[len(vals)-1] < vals[0]*0.98 {
+			t.Errorf("%s: 8-node miss %.4f below monolithic %.4f", series, vals[len(vals)-1], vals[0])
+		}
+	}
+}
+
+func TestReplicationsAverage(t *testing.T) {
+	cfg := testConfig()
+	cfg.Jobs = 400
+	one, err := cfg.missVsCacheSize("rep1", "x", workload.Zipf, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Replications = 3
+	avg, err := cfg.missVsCacheSize("rep3", "x", workload.Zipf, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := one.SeriesValues("optfilebundle")
+	b, _ := avg.SeriesValues("optfilebundle")
+	if len(a) != len(b) {
+		t.Fatal("row mismatch")
+	}
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+		}
+		if b[i] <= 0 || b[i] > 1 {
+			t.Errorf("averaged miss %v out of range", b[i])
+		}
+	}
+	if same {
+		t.Error("averaging over 3 seeds produced identical values to 1 seed")
+	}
+}
+
+func TestOverlapStudyShapes(t *testing.T) {
+	tab, err := testConfig().OverlapStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, _ := tab.SeriesValues("optfilebundle")
+	ll, _ := tab.SeriesValues("landlord")
+	for i := range opt {
+		if opt[i] >= ll[i] {
+			t.Errorf("row %s: opt %.4f not below landlord %.4f", tab.Rows[i].Label, opt[i], ll[i])
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package grid
+
+import (
+	"math"
+	"testing"
+
+	"fbcache/internal/bundle"
+	"fbcache/internal/mss"
+)
+
+func fastMSS(name string) mss.Config {
+	return mss.Config{Name: name, LatencySec: 1, BandwidthBps: 100, Channels: 1}
+}
+
+func buildTopo(t *testing.T) (*Topology, SiteID, SiteID) {
+	t.Helper()
+	topo, err := NewTopology("lbl", fastMSS("local"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cern, err := topo.AddSite("cern", mss.Config{Name: "cern", LatencySec: 5, BandwidthBps: 100, Channels: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slac, err := topo.AddSite("slac", fastMSS("slac"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// lbl <-> cern: slow WAN; lbl <-> slac: none (unreachable).
+	if err := topo.Connect(topo.Local(), cern, Link{LatencySec: 2, BandwidthBps: 50}); err != nil {
+		t.Fatal(err)
+	}
+	return topo, cern, slac
+}
+
+func TestTransferCosts(t *testing.T) {
+	topo, cern, slac := buildTopo(t)
+	// Local: 1 + 100/100 = 2.
+	if got := topo.TransferSeconds(topo.Local(), 100); math.Abs(got-2) > 1e-12 {
+		t.Errorf("local = %v, want 2", got)
+	}
+	// CERN: MSS 5 + 100/100 = 6, WAN 2 + 100/50 = 4 -> 10.
+	if got := topo.TransferSeconds(cern, 100); math.Abs(got-10) > 1e-12 {
+		t.Errorf("cern = %v, want 10", got)
+	}
+	// SLAC: no link -> +Inf.
+	if got := topo.TransferSeconds(slac, 100); !math.IsInf(got, 1) {
+		t.Errorf("slac = %v, want +Inf", got)
+	}
+	// Unknown site -> +Inf.
+	if got := topo.TransferSeconds(99, 100); !math.IsInf(got, 1) {
+		t.Errorf("unknown = %v, want +Inf", got)
+	}
+}
+
+func TestTopologyValidation(t *testing.T) {
+	topo, cern, _ := buildTopo(t)
+	if err := topo.Connect(cern, cern, Link{LatencySec: 1, BandwidthBps: 1}); err == nil {
+		t.Error("self-link accepted")
+	}
+	if err := topo.Connect(0, 99, Link{LatencySec: 1, BandwidthBps: 1}); err == nil {
+		t.Error("unknown site accepted")
+	}
+	if err := topo.Connect(0, cern, Link{LatencySec: -1, BandwidthBps: 1}); err == nil {
+		t.Error("negative latency accepted")
+	}
+	if err := topo.Connect(0, cern, Link{LatencySec: 0, BandwidthBps: 0}); err == nil {
+		t.Error("zero bandwidth accepted")
+	}
+	if _, err := topo.AddSite("bad", mss.Config{}); err == nil {
+		t.Error("invalid MSS accepted")
+	}
+	if _, err := NewTopology("bad", mss.Config{}); err == nil {
+		t.Error("invalid local MSS accepted")
+	}
+	if _, err := topo.Site(99); err == nil {
+		t.Error("unknown Site accepted")
+	}
+	if s, err := topo.Site(cern); err != nil || s.Name != "cern" {
+		t.Errorf("Site(cern) = %+v, %v", s, err)
+	}
+	if topo.NumSites() != 3 {
+		t.Errorf("NumSites = %d", topo.NumSites())
+	}
+}
+
+func TestReplicaSelection(t *testing.T) {
+	topo, cern, slac := buildTopo(t)
+	reps := NewReplicas()
+	f := bundle.FileID(7)
+	// No replicas yet.
+	if _, _, ok := reps.BestSource(topo, f, 100); ok {
+		t.Error("BestSource found phantom replica")
+	}
+	reps.Add(f, cern)
+	site, cost, ok := reps.BestSource(topo, f, 100)
+	if !ok || site != cern || math.Abs(cost-10) > 1e-12 {
+		t.Errorf("BestSource = %v %v %v", site, cost, ok)
+	}
+	// A local replica beats CERN.
+	reps.Add(f, topo.Local())
+	site, cost, ok = reps.BestSource(topo, f, 100)
+	if !ok || site != topo.Local() || math.Abs(cost-2) > 1e-12 {
+		t.Errorf("BestSource with local = %v %v %v", site, cost, ok)
+	}
+	// Idempotent Add.
+	reps.Add(f, cern)
+	if got := len(reps.Sites(f)); got != 2 {
+		t.Errorf("Sites = %d, want 2", got)
+	}
+	// Unreachable-only replica: not ok.
+	g := bundle.FileID(8)
+	reps.Add(g, slac)
+	if _, _, ok := reps.BestSource(topo, g, 100); ok {
+		t.Error("unreachable replica returned ok")
+	}
+}
+
+func TestStageBundleCost(t *testing.T) {
+	topo, cern, _ := buildTopo(t)
+	reps := NewReplicas()
+	sizeOf := func(bundle.FileID) bundle.Size { return 100 }
+	reps.Add(1, topo.Local()) // cost 2
+	reps.Add(2, cern)         // cost 10
+	total, bottleneck, err := reps.StageBundleCost(topo, bundle.New(1, 2), sizeOf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(total-12) > 1e-12 || math.Abs(bottleneck-10) > 1e-12 {
+		t.Errorf("total=%v bottleneck=%v", total, bottleneck)
+	}
+	// Missing replica -> error.
+	if _, _, err := reps.StageBundleCost(topo, bundle.New(1, 3), sizeOf); err == nil {
+		t.Error("missing replica accepted")
+	}
+}

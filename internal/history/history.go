@@ -1,0 +1,253 @@
+// Package history implements the L(R) request-history structure from the
+// paper (§3): for every distinct bundle ever requested it tracks a value
+// v(r) (by default a popularity counter), and for every file the degree
+// d(f) — the number of distinct requests that need it.
+//
+// The paper's §5.2 "Request History Length" experiments truncate the
+// candidate set handed to OptCacheSelect "while obtaining the request
+// popularity and the degree of file sharing from the global history".
+// History therefore always maintains global values and degrees cheaply, and
+// exposes Candidates with a pluggable truncation policy.
+package history
+
+import (
+	"fmt"
+	"sort"
+
+	"fbcache/internal/bundle"
+)
+
+// Entry is one distinct request in the history.
+type Entry struct {
+	Bundle   bundle.Bundle
+	Value    float64 // v(r): popularity counter or externally supplied weight
+	LastSeen uint64  // logical time of most recent observation
+	Seen     int64   // number of observations
+}
+
+// Truncation selects which history entries are offered to the selection
+// algorithm. Global degrees and values are unaffected.
+type Truncation int
+
+const (
+	// Full offers every request ever seen (the paper's default model).
+	Full Truncation = iota
+	// Window offers only the Limit most-recently-seen distinct requests.
+	Window
+	// TopValue offers only the Limit highest-value distinct requests.
+	TopValue
+	// CacheResident restricts candidates to requests currently supported by
+	// the cache — the paper's §5.3 choice ("subsequent simulations were run
+	// using only the truncated history limited to the requests in the
+	// cache"), keeping per-admission cost constant. The filtering needs the
+	// cache, so it happens in the policy (internal/core); History.Candidates
+	// itself returns the full set under this mode.
+	CacheResident
+)
+
+func (t Truncation) String() string {
+	switch t {
+	case Full:
+		return "full"
+	case Window:
+		return "window"
+	case TopValue:
+		return "top-value"
+	case CacheResident:
+		return "cache-resident"
+	}
+	return fmt.Sprintf("Truncation(%d)", int(t))
+}
+
+// Config controls History behaviour.
+type Config struct {
+	Truncation Truncation
+	// Limit bounds the candidate set for Window/TopValue. <= 0 means no bound.
+	Limit int
+	// LocalDegrees, if set, computes file degrees over the truncated candidate
+	// set instead of the global history. The paper uses global degrees; this
+	// switch exists for the ablation study (DESIGN.md §4.1).
+	LocalDegrees bool
+}
+
+// History is the L(R) structure. It is not safe for concurrent use; wrap it
+// (as internal/srm does) when sharing across goroutines.
+type History struct {
+	cfg     Config
+	entries map[string]*Entry
+	order   []*Entry // insertion/recency bookkeeping for Window truncation
+	degree  map[bundle.FileID]int
+	clock   uint64
+}
+
+// New returns an empty history with the given configuration.
+func New(cfg Config) *History {
+	return &History{
+		cfg:     cfg,
+		entries: make(map[string]*Entry),
+		degree:  make(map[bundle.FileID]int),
+	}
+}
+
+// Observe records one occurrence of b, incrementing its value by one, and
+// returns the entry. This is the paper's "counter incremented by 1 each time
+// this request appeared".
+func (h *History) Observe(b bundle.Bundle) *Entry {
+	return h.ObserveValued(b, 1)
+}
+
+// ObserveValued records one occurrence of b with the given value increment,
+// supporting priority-weighted requests.
+func (h *History) ObserveValued(b bundle.Bundle, delta float64) *Entry {
+	h.clock++
+	key := b.Key()
+	e, ok := h.entries[key]
+	if !ok {
+		e = &Entry{Bundle: b.Clone()}
+		h.entries[key] = e
+		h.order = append(h.order, e)
+		for _, f := range e.Bundle {
+			h.degree[f]++
+		}
+	}
+	e.Value += delta
+	e.Seen++
+	e.LastSeen = h.clock
+	return e
+}
+
+// Lookup returns the entry for b, if any.
+func (h *History) Lookup(b bundle.Bundle) (*Entry, bool) {
+	e, ok := h.entries[b.Key()]
+	return e, ok
+}
+
+// Len reports the number of distinct requests recorded.
+func (h *History) Len() int { return len(h.entries) }
+
+// Clock reports the logical time (total observations).
+func (h *History) Clock() uint64 { return h.clock }
+
+// Degree reports d(f): the number of distinct historical requests using f.
+// Files never seen have degree 0.
+func (h *History) Degree(f bundle.FileID) int { return h.degree[f] }
+
+// DegreeFunc returns the degree lookup as a closure, with a floor of 1 so the
+// adjusted size s'(f) = s(f)/d(f) is defined even for unseen files.
+func (h *History) DegreeFunc() func(bundle.FileID) int {
+	return func(f bundle.FileID) int {
+		if d := h.degree[f]; d > 0 {
+			return d
+		}
+		return 1
+	}
+}
+
+// MaxDegree reports d = max_f d(f), the constant in the paper's
+// (1 − e^{−1/d}) approximation bound.
+func (h *History) MaxDegree() int {
+	max := 0
+	for _, d := range h.degree {
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Candidates returns the entries offered to the selection algorithm under
+// the configured truncation, in unspecified order. The returned slice is
+// freshly allocated; entries are shared (do not mutate).
+func (h *History) Candidates() []*Entry {
+	all := make([]*Entry, 0, len(h.order))
+	all = append(all, h.order...)
+	limit := h.cfg.Limit
+	if limit <= 0 || limit >= len(all) || h.cfg.Truncation == Full {
+		return all
+	}
+	switch h.cfg.Truncation {
+	case Window:
+		sort.Slice(all, func(i, j int) bool { return all[i].LastSeen > all[j].LastSeen })
+	case TopValue:
+		sort.Slice(all, func(i, j int) bool {
+			if all[i].Value != all[j].Value {
+				return all[i].Value > all[j].Value
+			}
+			return all[i].LastSeen > all[j].LastSeen
+		})
+	}
+	return all[:limit]
+}
+
+// CandidateDegreeFunc returns the degree function the selection algorithm
+// should use: global degrees (the paper's choice) or degrees recomputed over
+// the truncated candidate set when LocalDegrees is set.
+func (h *History) CandidateDegreeFunc(candidates []*Entry) func(bundle.FileID) int {
+	if !h.cfg.LocalDegrees {
+		return h.DegreeFunc()
+	}
+	local := make(map[bundle.FileID]int)
+	for _, e := range candidates {
+		for _, f := range e.Bundle {
+			local[f]++
+		}
+	}
+	return func(f bundle.FileID) int {
+		if d := local[f]; d > 0 {
+			return d
+		}
+		return 1
+	}
+}
+
+// Decay multiplies every request value by factor (0 < factor <= 1),
+// implementing exponential aging of popularity. The paper's v(r) is a raw
+// counter, which never forgets; a production SRM running for months needs
+// old hot spots to fade so the cache can track workload drift. Entries
+// whose value falls below floor are forgotten entirely (degrees updated).
+func (h *History) Decay(factor, floor float64) {
+	if factor <= 0 || factor > 1 {
+		panic(fmt.Sprintf("history: decay factor %v outside (0,1]", factor))
+	}
+	var drop []bundle.Bundle
+	for _, e := range h.entries {
+		e.Value *= factor
+		if e.Value < floor {
+			drop = append(drop, e.Bundle)
+		}
+	}
+	for _, b := range drop {
+		h.Forget(b)
+	}
+}
+
+// Forget removes b from the history entirely, decrementing file degrees.
+// It reports whether the entry existed. Used by bounded-memory deployments.
+func (h *History) Forget(b bundle.Bundle) bool {
+	key := b.Key()
+	e, ok := h.entries[key]
+	if !ok {
+		return false
+	}
+	delete(h.entries, key)
+	for _, f := range e.Bundle {
+		if h.degree[f]--; h.degree[f] <= 0 {
+			delete(h.degree, f)
+		}
+	}
+	for i, o := range h.order {
+		if o == e {
+			h.order = append(h.order[:i], h.order[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
+// Reset clears all state.
+func (h *History) Reset() {
+	h.entries = make(map[string]*Entry)
+	h.degree = make(map[bundle.FileID]int)
+	h.order = h.order[:0]
+	h.clock = 0
+}

@@ -1,0 +1,311 @@
+package history
+
+import (
+	"testing"
+	"testing/quick"
+
+	"fbcache/internal/bundle"
+)
+
+func TestObserveAccumulatesValue(t *testing.T) {
+	h := New(Config{})
+	b := bundle.New(1, 2, 3)
+	e1 := h.Observe(b)
+	if e1.Value != 1 || e1.Seen != 1 {
+		t.Fatalf("first observe: value=%v seen=%d", e1.Value, e1.Seen)
+	}
+	e2 := h.Observe(bundle.New(3, 2, 1)) // same canonical bundle
+	if e1 != e2 {
+		t.Fatal("equal bundles created distinct entries")
+	}
+	if e2.Value != 2 || e2.Seen != 2 {
+		t.Errorf("second observe: value=%v seen=%d", e2.Value, e2.Seen)
+	}
+	if h.Len() != 1 {
+		t.Errorf("Len = %d", h.Len())
+	}
+	if h.Clock() != 2 {
+		t.Errorf("Clock = %d", h.Clock())
+	}
+}
+
+func TestObserveValued(t *testing.T) {
+	h := New(Config{})
+	e := h.ObserveValued(bundle.New(1), 5)
+	h.ObserveValued(bundle.New(1), 2.5)
+	if e.Value != 7.5 {
+		t.Errorf("Value = %v, want 7.5", e.Value)
+	}
+}
+
+func TestDegrees(t *testing.T) {
+	h := New(Config{})
+	h.Observe(bundle.New(1, 2))
+	h.Observe(bundle.New(2, 3))
+	h.Observe(bundle.New(2, 3)) // repeat: degree counts distinct requests
+	h.Observe(bundle.New(3))
+
+	wantDeg := map[bundle.FileID]int{1: 1, 2: 2, 3: 2}
+	for f, w := range wantDeg {
+		if got := h.Degree(f); got != w {
+			t.Errorf("Degree(%d) = %d, want %d", f, got, w)
+		}
+	}
+	if got := h.Degree(99); got != 0 {
+		t.Errorf("Degree(unseen) = %d", got)
+	}
+	df := h.DegreeFunc()
+	if df(99) != 1 {
+		t.Errorf("DegreeFunc floor = %d, want 1", df(99))
+	}
+	if h.MaxDegree() != 2 {
+		t.Errorf("MaxDegree = %d", h.MaxDegree())
+	}
+}
+
+func TestPaperExampleDegrees(t *testing.T) {
+	// The reconstructed Fig. 3 example: d(f5) = 4 is the paper's quoted d.
+	h := New(Config{})
+	for _, b := range [][]bundle.FileID{
+		{1, 3, 5}, {2, 4, 6, 7}, {1, 5}, {4, 6, 7}, {3, 5}, {5, 6, 7},
+	} {
+		h.Observe(bundle.New(b...))
+	}
+	want := map[bundle.FileID]int{1: 2, 2: 1, 3: 2, 4: 2, 5: 4, 6: 3, 7: 3}
+	for f, w := range want {
+		if got := h.Degree(f); got != w {
+			t.Errorf("Degree(f%d) = %d, want %d", f, got, w)
+		}
+	}
+	if h.MaxDegree() != 4 {
+		t.Errorf("MaxDegree = %d, want 4 (paper: d=4 via f5)", h.MaxDegree())
+	}
+}
+
+func TestCandidatesFull(t *testing.T) {
+	h := New(Config{Truncation: Full, Limit: 2})
+	h.Observe(bundle.New(1))
+	h.Observe(bundle.New(2))
+	h.Observe(bundle.New(3))
+	if got := len(h.Candidates()); got != 3 {
+		t.Errorf("Full truncation returned %d candidates, want 3", got)
+	}
+}
+
+func TestCandidatesWindow(t *testing.T) {
+	h := New(Config{Truncation: Window, Limit: 2})
+	h.Observe(bundle.New(1))
+	h.Observe(bundle.New(2))
+	h.Observe(bundle.New(3))
+	h.Observe(bundle.New(1)) // refresh 1
+	cands := h.Candidates()
+	if len(cands) != 2 {
+		t.Fatalf("window returned %d", len(cands))
+	}
+	keys := map[string]bool{}
+	for _, e := range cands {
+		keys[e.Bundle.Key()] = true
+	}
+	if !keys[bundle.New(1).Key()] || !keys[bundle.New(3).Key()] {
+		t.Errorf("window kept wrong entries: %v", keys)
+	}
+}
+
+func TestCandidatesTopValue(t *testing.T) {
+	h := New(Config{Truncation: TopValue, Limit: 2})
+	for i := 0; i < 5; i++ {
+		h.Observe(bundle.New(1)) // value 5
+	}
+	for i := 0; i < 3; i++ {
+		h.Observe(bundle.New(2)) // value 3
+	}
+	h.Observe(bundle.New(3)) // value 1
+	cands := h.Candidates()
+	if len(cands) != 2 {
+		t.Fatalf("top-value returned %d", len(cands))
+	}
+	if cands[0].Value < cands[1].Value {
+		t.Error("top-value not sorted descending")
+	}
+	if cands[0].Bundle.Key() != bundle.New(1).Key() {
+		t.Errorf("top candidate = %v", cands[0].Bundle)
+	}
+}
+
+func TestLocalDegrees(t *testing.T) {
+	h := New(Config{Truncation: Window, Limit: 1, LocalDegrees: true})
+	h.Observe(bundle.New(1, 2))
+	h.Observe(bundle.New(2, 3))
+	cands := h.Candidates() // only {2,3}
+	df := h.CandidateDegreeFunc(cands)
+	if df(2) != 1 {
+		t.Errorf("local degree(2) = %d, want 1", df(2))
+	}
+	// Global degrees still see both requests.
+	if h.Degree(2) != 2 {
+		t.Errorf("global degree(2) = %d, want 2", h.Degree(2))
+	}
+	// Without LocalDegrees the candidate degree func is global.
+	h2 := New(Config{Truncation: Window, Limit: 1})
+	h2.Observe(bundle.New(1, 2))
+	h2.Observe(bundle.New(2, 3))
+	df2 := h2.CandidateDegreeFunc(h2.Candidates())
+	if df2(2) != 2 {
+		t.Errorf("global candidate degree(2) = %d, want 2", df2(2))
+	}
+}
+
+func TestForget(t *testing.T) {
+	h := New(Config{})
+	h.Observe(bundle.New(1, 2))
+	h.Observe(bundle.New(2, 3))
+	if !h.Forget(bundle.New(1, 2)) {
+		t.Fatal("Forget returned false for existing entry")
+	}
+	if h.Forget(bundle.New(1, 2)) {
+		t.Error("Forget returned true for missing entry")
+	}
+	if h.Len() != 1 {
+		t.Errorf("Len = %d", h.Len())
+	}
+	if h.Degree(1) != 0 {
+		t.Errorf("Degree(1) = %d after forget", h.Degree(1))
+	}
+	if h.Degree(2) != 1 {
+		t.Errorf("Degree(2) = %d after forget", h.Degree(2))
+	}
+	if len(h.Candidates()) != 1 {
+		t.Errorf("Candidates = %d", len(h.Candidates()))
+	}
+}
+
+func TestReset(t *testing.T) {
+	h := New(Config{})
+	h.Observe(bundle.New(1, 2))
+	h.Reset()
+	if h.Len() != 0 || h.Clock() != 0 || h.Degree(1) != 0 || len(h.Candidates()) != 0 {
+		t.Error("Reset did not clear state")
+	}
+}
+
+func TestLookup(t *testing.T) {
+	h := New(Config{})
+	h.Observe(bundle.New(4, 5))
+	if _, ok := h.Lookup(bundle.New(5, 4)); !ok {
+		t.Error("Lookup missed canonical-equal bundle")
+	}
+	if _, ok := h.Lookup(bundle.New(4)); ok {
+		t.Error("Lookup found non-existent bundle")
+	}
+}
+
+func TestTruncationString(t *testing.T) {
+	for tr, want := range map[Truncation]string{
+		Full: "full", Window: "window", TopValue: "top-value", Truncation(9): "Truncation(9)",
+	} {
+		if got := tr.String(); got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+}
+
+// Property: sum of degrees equals sum of bundle lengths over distinct entries,
+// and every candidate set is a subset of the full history.
+func TestQuickDegreeConsistency(t *testing.T) {
+	f := func(raw [][]uint16, limit uint8) bool {
+		h := New(Config{Truncation: Window, Limit: int(limit % 8)})
+		for _, ids := range raw {
+			if len(ids) == 0 {
+				continue
+			}
+			fids := make([]bundle.FileID, len(ids))
+			for i, v := range ids {
+				fids[i] = bundle.FileID(v % 16)
+			}
+			h.Observe(bundle.New(fids...))
+		}
+		sumDeg := 0
+		for f := bundle.FileID(0); f < 16; f++ {
+			sumDeg += h.Degree(f)
+		}
+		sumLen := 0
+		for _, e := range New(Config{}).Candidates() {
+			_ = e
+		}
+		full := New(Config{})
+		// Rebuild to count distinct lengths.
+		seen := map[string]bool{}
+		for _, ids := range raw {
+			if len(ids) == 0 {
+				continue
+			}
+			fids := make([]bundle.FileID, len(ids))
+			for i, v := range ids {
+				fids[i] = bundle.FileID(v % 16)
+			}
+			b := bundle.New(fids...)
+			if !seen[b.Key()] {
+				seen[b.Key()] = true
+				sumLen += b.Len()
+			}
+			full.Observe(b)
+		}
+		if sumDeg != sumLen {
+			return false
+		}
+		if len(h.Candidates()) > h.Len() {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkObserve(b *testing.B) {
+	h := New(Config{})
+	bundles := make([]bundle.Bundle, 512)
+	for i := range bundles {
+		bundles[i] = bundle.New(bundle.FileID(i), bundle.FileID(i+1), bundle.FileID(2*i))
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(bundles[i%len(bundles)])
+	}
+}
+
+func TestDecay(t *testing.T) {
+	h := New(Config{})
+	for i := 0; i < 8; i++ {
+		h.Observe(bundle.New(1, 2))
+	}
+	h.Observe(bundle.New(3))
+	h.Decay(0.5, 0.6) // {1,2} -> 4; {3} -> 0.5 < 0.6 -> forgotten
+	if e, ok := h.Lookup(bundle.New(1, 2)); !ok || e.Value != 4 {
+		t.Errorf("entry = %+v, %v", e, ok)
+	}
+	if _, ok := h.Lookup(bundle.New(3)); ok {
+		t.Error("low-value entry survived decay")
+	}
+	if h.Degree(3) != 0 {
+		t.Errorf("degree(3) = %d after forget", h.Degree(3))
+	}
+	if h.Degree(1) != 1 {
+		t.Errorf("degree(1) = %d", h.Degree(1))
+	}
+}
+
+func TestDecayPanicsOnBadFactor(t *testing.T) {
+	h := New(Config{})
+	for _, f := range []float64{0, -1, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("factor %v did not panic", f)
+				}
+			}()
+			h.Decay(f, 0)
+		}()
+	}
+}

@@ -1,0 +1,130 @@
+// Package mss models the Mass Storage Systems behind an SRM (§1, §2): the
+// tape/disk archives files are fetched from on a cache miss. A System has a
+// fixed number of transfer channels (tape drives / movers); each fetch pays
+// a per-transfer latency (mount + seek) plus size/bandwidth, and queues for
+// the earliest available channel.
+//
+// Simulation time is float64 seconds; the model is used by the
+// discrete-event simulator in internal/simulate and the cost model in
+// internal/grid.
+package mss
+
+import (
+	"fmt"
+
+	"fbcache/internal/bundle"
+)
+
+// Config describes one mass storage system.
+type Config struct {
+	// Name labels the system in output ("hpss-local", "remote-tape", ...).
+	Name string
+	// LatencySec is the fixed per-transfer cost (mount, robot, seek).
+	LatencySec float64
+	// BandwidthBps is the per-channel transfer rate in bytes/second.
+	BandwidthBps float64
+	// Channels is the number of concurrent transfers (drives). Must be >= 1.
+	Channels int
+}
+
+// DefaultConfig models a modest HPSS-class archive: 10s mount latency,
+// 50 MB/s per channel, 4 channels.
+func DefaultConfig() Config {
+	return Config{Name: "mss", LatencySec: 10, BandwidthBps: 50e6, Channels: 4}
+}
+
+// Validate reports the first problem with the config.
+func (c Config) Validate() error {
+	switch {
+	case c.LatencySec < 0:
+		return fmt.Errorf("mss %q: negative latency", c.Name)
+	case c.BandwidthBps <= 0:
+		return fmt.Errorf("mss %q: bandwidth must be positive", c.Name)
+	case c.Channels < 1:
+		return fmt.Errorf("mss %q: need at least one channel", c.Name)
+	}
+	return nil
+}
+
+// TransferSeconds reports the service time (excluding channel queueing) of
+// one transfer of the given size.
+func (c Config) TransferSeconds(size bundle.Size) float64 {
+	return c.LatencySec + float64(size)/c.BandwidthBps
+}
+
+// System is a stateful MSS instance inside a simulation: it tracks when each
+// channel becomes free so concurrent fetches queue realistically.
+type System struct {
+	cfg  Config
+	free []float64 // per-channel next-available time
+
+	transfers int64
+	bytes     bundle.Size
+	busy      float64 // total channel-busy seconds
+}
+
+// NewSystem builds a System from a validated config.
+func NewSystem(cfg Config) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &System{cfg: cfg, free: make([]float64, cfg.Channels)}, nil
+}
+
+// Config returns the system's configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// Fetch schedules one transfer requested at time now and returns its finish
+// time. The transfer starts when the earliest channel frees (or immediately)
+// and occupies that channel for LatencySec + size/bandwidth.
+func (s *System) Fetch(now float64, size bundle.Size) (finish float64) {
+	if size < 0 {
+		panic(fmt.Sprintf("mss: negative transfer size %d", size))
+	}
+	// Earliest-available channel.
+	ch := 0
+	for i := 1; i < len(s.free); i++ {
+		if s.free[i] < s.free[ch] {
+			ch = i
+		}
+	}
+	start := now
+	if s.free[ch] > start {
+		start = s.free[ch]
+	}
+	dur := s.cfg.TransferSeconds(size)
+	finish = start + dur
+	s.free[ch] = finish
+
+	s.transfers++
+	s.bytes += size
+	s.busy += dur
+	return finish
+}
+
+// FetchBundle schedules transfers for all files of b (sizes via sizeOf) and
+// returns the time by which every file has arrived — the staging time of a
+// file-bundle.
+func (s *System) FetchBundle(now float64, b bundle.Bundle, sizeOf bundle.SizeFunc) float64 {
+	finish := now
+	for _, f := range b {
+		if t := s.Fetch(now, sizeOf(f)); t > finish {
+			finish = t
+		}
+	}
+	return finish
+}
+
+// Stats reports cumulative transfer counts, bytes moved and channel-busy
+// seconds.
+func (s *System) Stats() (transfers int64, bytes bundle.Size, busySeconds float64) {
+	return s.transfers, s.bytes, s.busy
+}
+
+// Utilization reports mean channel utilization over [0, horizon].
+func (s *System) Utilization(horizon float64) float64 {
+	if horizon <= 0 {
+		return 0
+	}
+	return s.busy / (horizon * float64(s.cfg.Channels))
+}

@@ -1,0 +1,199 @@
+package classic
+
+import (
+	"math/rand"
+	"testing"
+
+	"fbcache/internal/bundle"
+	"fbcache/internal/policy"
+)
+
+func unit(bundle.FileID) bundle.Size { return 1 }
+
+func TestLRUEvictsOldest(t *testing.T) {
+	p := NewLRU(3, unit)
+	p.Admit(bundle.New(1))
+	p.Admit(bundle.New(2))
+	p.Admit(bundle.New(3))
+	p.Admit(bundle.New(1)) // refresh 1; 2 is now LRU
+	res := p.Admit(bundle.New(4))
+	if res.FilesEvicted != 1 {
+		t.Fatalf("evicted %d", res.FilesEvicted)
+	}
+	if p.Cache().Contains(2) {
+		t.Errorf("LRU kept 2; resident = %v", p.Cache().Resident())
+	}
+	if !p.Cache().Contains(1) || !p.Cache().Contains(3) || !p.Cache().Contains(4) {
+		t.Errorf("resident = %v", p.Cache().Resident())
+	}
+}
+
+func TestMRUEvictsNewest(t *testing.T) {
+	p := NewMRU(2, unit)
+	p.Admit(bundle.New(1))
+	p.Admit(bundle.New(2))
+	p.Admit(bundle.New(3))
+	// MRU evicts the most recently used outside the request: 2.
+	if p.Cache().Contains(2) {
+		t.Errorf("MRU kept 2; resident = %v", p.Cache().Resident())
+	}
+	if !p.Cache().Contains(1) {
+		t.Errorf("MRU evicted 1; resident = %v", p.Cache().Resident())
+	}
+}
+
+func TestLFUEvictsLeastFrequent(t *testing.T) {
+	p := NewLFU(3, unit)
+	p.Admit(bundle.New(1, 2, 3))
+	for i := 0; i < 5; i++ {
+		p.Admit(bundle.New(1))
+		p.Admit(bundle.New(2))
+	}
+	p.Admit(bundle.New(4))
+	if p.Cache().Contains(3) {
+		t.Errorf("LFU kept cold file 3; resident = %v", p.Cache().Resident())
+	}
+	if !p.Cache().Contains(1) || !p.Cache().Contains(2) {
+		t.Errorf("LFU evicted hot file; resident = %v", p.Cache().Resident())
+	}
+}
+
+func TestFIFOIgnoresTouches(t *testing.T) {
+	p := NewFIFO(3, unit)
+	p.Admit(bundle.New(1))
+	p.Admit(bundle.New(2))
+	p.Admit(bundle.New(3))
+	for i := 0; i < 10; i++ {
+		p.Admit(bundle.New(1)) // touches must not save 1 under FIFO
+	}
+	p.Admit(bundle.New(4))
+	if p.Cache().Contains(1) {
+		t.Errorf("FIFO kept first-in file; resident = %v", p.Cache().Resident())
+	}
+}
+
+func TestGDSFFavorsFrequencyAndAges(t *testing.T) {
+	p := NewGDSF(3, unit)
+	p.Admit(bundle.New(1, 2, 3))
+	p.Admit(bundle.New(1))
+	p.Admit(bundle.New(1)) // freq(1)=3, freq(2)=freq(3)=1
+	p.Admit(bundle.New(4))
+	if p.Cache().Contains(2) && p.Cache().Contains(3) {
+		t.Errorf("GDSF evicted nothing cold; resident = %v", p.Cache().Resident())
+	}
+	if !p.Cache().Contains(1) {
+		t.Errorf("GDSF evicted hottest file; resident = %v", p.Cache().Resident())
+	}
+	// Aging: after evictions, newly inserted cold files should not be
+	// immediately re-victimized ahead of long-resident hot files forever;
+	// exercise a longer mix for invariants.
+	rng := rand.New(rand.NewSource(5))
+	for step := 0; step < 500; step++ {
+		ids := []bundle.FileID{bundle.FileID(rng.Intn(10))}
+		p.Admit(bundle.New(ids...))
+		if err := p.Cache().CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestRandomIsDeterministicPerSeed(t *testing.T) {
+	run := func(seed int64) bundle.Bundle {
+		p := NewRandom(3, unit, seed)
+		for i := bundle.FileID(1); i <= 8; i++ {
+			p.Admit(bundle.New(i))
+		}
+		return p.Cache().Resident()
+	}
+	a, b := run(7), run(7)
+	if !a.Equal(b) {
+		t.Errorf("same seed, different residents: %v vs %v", a, b)
+	}
+}
+
+func TestBundleFilesNeverVictims(t *testing.T) {
+	for name, mk := range map[string]func() *Base{
+		"lru":    func() *Base { return NewLRU(4, unit) },
+		"mru":    func() *Base { return NewMRU(4, unit) },
+		"lfu":    func() *Base { return NewLFU(4, unit) },
+		"fifo":   func() *Base { return NewFIFO(4, unit) },
+		"gdsf":   func() *Base { return NewGDSF(4, unit) },
+		"random": func() *Base { return NewRandom(4, unit, 1) },
+	} {
+		p := mk()
+		p.Admit(bundle.New(1, 2, 3, 4))
+		// Admit a bundle replacing two files; its own files must survive.
+		res := p.Admit(bundle.New(1, 2, 5, 6))
+		if res.Unserviceable {
+			t.Errorf("%s: unserviceable", name)
+			continue
+		}
+		if !p.Cache().Supports(bundle.New(1, 2, 5, 6)) {
+			t.Errorf("%s: request files evicted; resident = %v", name, p.Cache().Resident())
+		}
+	}
+}
+
+func TestAllPoliciesRandomizedInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	sizes := make([]bundle.Size, 30)
+	for i := range sizes {
+		sizes[i] = bundle.Size(1 + rng.Intn(7))
+	}
+	sizeOf := func(f bundle.FileID) bundle.Size { return sizes[f] }
+	factories := []policy.Factory{
+		LRUFactory(), MRUFactory(), LFUFactory(), FIFOFactory(),
+		GDSFFactory(), RandomFactory(99),
+	}
+	for _, mk := range factories {
+		p := mk(40, sizeOf)
+		for step := 0; step < 600; step++ {
+			n := 1 + rng.Intn(4)
+			ids := make([]bundle.FileID, n)
+			for i := range ids {
+				ids[i] = bundle.FileID(rng.Intn(30))
+			}
+			b := bundle.New(ids...)
+			res := p.Admit(b)
+			if !res.Unserviceable && !p.Cache().Supports(b) {
+				t.Fatalf("%s step %d: serviced bundle not resident", p.Name(), step)
+			}
+			if err := p.Cache().CheckInvariants(); err != nil {
+				t.Fatalf("%s step %d: %v", p.Name(), step, err)
+			}
+		}
+	}
+}
+
+func TestNames(t *testing.T) {
+	want := map[string]policy.Policy{
+		"lru":    NewLRU(1, unit),
+		"mru":    NewMRU(1, unit),
+		"lfu":    NewLFU(1, unit),
+		"fifo":   NewFIFO(1, unit),
+		"gdsf":   NewGDSF(1, unit),
+		"random": NewRandom(1, unit, 0),
+	}
+	for name, p := range want {
+		if p.Name() != name {
+			t.Errorf("Name = %q, want %q", p.Name(), name)
+		}
+	}
+}
+
+func BenchmarkLRUAdmit(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	p := NewLRU(200, unit)
+	bundles := make([]bundle.Bundle, 128)
+	for i := range bundles {
+		ids := make([]bundle.FileID, 1+rng.Intn(5))
+		for j := range ids {
+			ids[j] = bundle.FileID(rng.Intn(500))
+		}
+		bundles[i] = bundle.New(ids...)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.Admit(bundles[i%len(bundles)])
+	}
+}

@@ -1,0 +1,150 @@
+// Package offline implements a clairvoyant baseline: Belady's MIN rule
+// adapted to file-bundles. The policy is constructed with the entire future
+// request sequence and, when space is needed, evicts the resident file
+// whose next use lies farthest in the future (never-used-again files first).
+//
+// For single-file requests this is the offline-optimal MIN; for bundles it
+// is a strong heuristic, not an optimum (the offline bundle problem
+// inherits the FBC NP-hardness of §4). It serves as a reference curve no
+// online policy is expected to beat by much — the paper has no such
+// baseline, and it contextualizes how close OptFileBundle gets to
+// hindsight.
+package offline
+
+import (
+	"sort"
+
+	"fbcache/internal/bundle"
+	"fbcache/internal/cache"
+	"fbcache/internal/policy"
+)
+
+// Belady is the clairvoyant policy. Admissions must follow exactly the
+// future sequence given at construction; Admit panics if called more times
+// than the future has jobs.
+type Belady struct {
+	cache  *cache.Cache
+	sizeOf bundle.SizeFunc
+
+	// uses[f] holds the ascending job indices at which f is requested.
+	uses map[bundle.FileID][]int
+	// cursor[f] indexes the first entry of uses[f] not yet in the past.
+	cursor map[bundle.FileID]int
+	clock  int
+	total  int
+}
+
+// New builds a Belady policy for the given future request sequence.
+func New(capacity bundle.Size, sizeOf bundle.SizeFunc, future []bundle.Bundle) *Belady {
+	if sizeOf == nil {
+		panic("offline: nil SizeFunc")
+	}
+	b := &Belady{
+		cache:  cache.New(capacity),
+		sizeOf: sizeOf,
+		uses:   make(map[bundle.FileID][]int),
+		cursor: make(map[bundle.FileID]int),
+		total:  len(future),
+	}
+	for i, req := range future {
+		for _, f := range req {
+			b.uses[f] = append(b.uses[f], i)
+		}
+	}
+	return b
+}
+
+// Name implements policy.Policy.
+func (b *Belady) Name() string { return "belady-offline" }
+
+// Cache implements policy.Policy.
+func (b *Belady) Cache() *cache.Cache { return b.cache }
+
+// nextUse returns the first job index > now at which f is used, or a
+// sentinel beyond the horizon when f is never used again.
+func (b *Belady) nextUse(f bundle.FileID, now int) int {
+	posts := b.uses[f]
+	i := b.cursor[f]
+	// Advance the cursor past positions <= now (amortized O(1)).
+	for i < len(posts) && posts[i] <= now {
+		i++
+	}
+	b.cursor[f] = i
+	if i == len(posts) {
+		return b.total + 1 // never again
+	}
+	return posts[i]
+}
+
+// Admit implements policy.Policy for the next job of the future sequence.
+func (b *Belady) Admit(req bundle.Bundle) policy.Result {
+	if b.clock >= b.total {
+		panic("offline: Admit called beyond the provided future")
+	}
+	now := b.clock
+	b.clock++
+
+	res := policy.Result{BytesRequested: req.TotalSize(b.sizeOf)}
+	if res.BytesRequested > b.cache.Capacity() {
+		res.Unserviceable = true
+		return res
+	}
+	if b.cache.Supports(req) {
+		res.Hit = true
+		return res
+	}
+
+	missing := b.cache.Missing(req)
+	needed := missing.TotalSize(b.sizeOf)
+
+	for b.cache.Free() < needed {
+		victim, ok := b.victim(req, now)
+		if !ok {
+			break
+		}
+		if err := b.cache.Evict(victim); err != nil {
+			break
+		}
+		res.FilesEvicted++
+		res.Evicted = append(res.Evicted, victim)
+	}
+	for _, f := range missing {
+		if err := b.cache.Insert(f, b.sizeOf(f)); err != nil {
+			continue
+		}
+		res.FilesLoaded++
+		res.BytesLoaded += b.sizeOf(f)
+		res.Loaded = append(res.Loaded, f)
+	}
+	return res
+}
+
+// victim picks the resident file (outside req, unpinned) used farthest in
+// the future; size breaks ties (evict the biggest), then FileID.
+func (b *Belady) victim(req bundle.Bundle, now int) (bundle.FileID, bool) {
+	resident := b.cache.Resident()
+	bestIdx := -1
+	bestNext := -1
+	var bestSize bundle.Size
+	candidates := make([]bundle.FileID, 0, len(resident))
+	for _, f := range resident {
+		if req.Contains(f) || b.cache.Pinned(f) {
+			continue
+		}
+		candidates = append(candidates, f)
+	}
+	sort.Slice(candidates, func(i, j int) bool { return candidates[i] < candidates[j] })
+	for i, f := range candidates {
+		next := b.nextUse(f, now)
+		size := b.sizeOf(f)
+		if next > bestNext || (next == bestNext && size > bestSize) {
+			bestIdx, bestNext, bestSize = i, next, size
+		}
+	}
+	if bestIdx < 0 {
+		return 0, false
+	}
+	return candidates[bestIdx], true
+}
+
+var _ policy.Policy = (*Belady)(nil)

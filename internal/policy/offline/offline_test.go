@@ -1,0 +1,134 @@
+package offline
+
+import (
+	"testing"
+
+	"fbcache/internal/bundle"
+	"fbcache/internal/policy/classic"
+	"fbcache/internal/workload"
+)
+
+func unit(bundle.FileID) bundle.Size { return 1 }
+
+func TestBeladyClassicSequence(t *testing.T) {
+	// The textbook MIN example: cache of 2, accesses 1,2,3,1,2.
+	// On admitting 3, MIN evicts 2 (next used at t=4) vs 1 (t=3)? No:
+	// farthest next use is evicted — 1 is next used at index 3, 2 at index
+	// 4, so 2 is evicted and 1 survives.
+	future := []bundle.Bundle{
+		bundle.New(1), bundle.New(2), bundle.New(3), bundle.New(1), bundle.New(2),
+	}
+	b := New(2, unit, future)
+	hits := 0
+	for _, req := range future {
+		if b.Admit(req).Hit {
+			hits++
+		}
+	}
+	// Misses: 1,2,3 compulsory; at 3, evict 2 (farthest). Then 1 hits,
+	// 2 misses. Total hits = 1.
+	if hits != 1 {
+		t.Errorf("hits = %d, want 1", hits)
+	}
+	if !b.Cache().Contains(2) {
+		t.Errorf("resident = %v", b.Cache().Resident())
+	}
+}
+
+func TestBeladyEvictsNeverUsedFirst(t *testing.T) {
+	future := []bundle.Bundle{
+		bundle.New(1, 2, 3), // 3 never used again
+		bundle.New(4),
+		bundle.New(1, 2),
+	}
+	b := New(3, unit, future)
+	b.Admit(future[0])
+	b.Admit(future[1]) // must evict 3 (never used again)
+	if b.Cache().Contains(3) {
+		t.Errorf("kept dead file; resident = %v", b.Cache().Resident())
+	}
+	if !b.Admit(future[2]).Hit {
+		t.Error("clairvoyance failed: {1,2} should hit")
+	}
+}
+
+func TestBeladyPanicsBeyondFuture(t *testing.T) {
+	b := New(2, unit, []bundle.Bundle{bundle.New(1)})
+	b.Admit(bundle.New(1))
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	b.Admit(bundle.New(1))
+}
+
+func TestBeladyUnserviceable(t *testing.T) {
+	b := New(1, unit, []bundle.Bundle{bundle.New(1, 2)})
+	if res := b.Admit(bundle.New(1, 2)); !res.Unserviceable {
+		t.Errorf("res = %+v", res)
+	}
+}
+
+// On single-file workloads Belady is offline-optimal: no online policy may
+// achieve a (meaningfully) higher hit count.
+func TestBeladyDominatesLRUOnSingleFileWorkload(t *testing.T) {
+	spec := workload.DefaultSpec()
+	spec.Jobs = 4000
+	spec.NumFiles = 80
+	spec.NumRequests = 120
+	spec.MaxBundleFiles = 1 // single-file requests
+	spec.CacheSize = 2 * bundle.GB
+	spec.MaxFilePct = 0.05
+	spec.Popularity = workload.Zipf
+	w, err := workload.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	future := make([]bundle.Bundle, len(w.Jobs))
+	for i := range w.Jobs {
+		future[i] = w.JobBundle(i)
+	}
+	bel := New(spec.CacheSize, w.Catalog.SizeFunc(), future)
+	lru := classic.NewLRU(spec.CacheSize, w.Catalog.SizeFunc())
+	var hitsBel, hitsLRU int
+	for _, req := range future {
+		if bel.Admit(req).Hit {
+			hitsBel++
+		}
+		if lru.Admit(req).Hit {
+			hitsLRU++
+		}
+	}
+	t.Logf("hits: belady=%d lru=%d of %d", hitsBel, hitsLRU, len(future))
+	if hitsBel < hitsLRU {
+		t.Errorf("offline optimal (%d) below LRU (%d)", hitsBel, hitsLRU)
+	}
+}
+
+func TestBeladyHandlesBundles(t *testing.T) {
+	spec := workload.DefaultSpec()
+	spec.Jobs = 1500
+	spec.NumFiles = 100
+	spec.NumRequests = 60
+	spec.CacheSize = 2 * bundle.GB
+	spec.Popularity = workload.Zipf
+	w, err := workload.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	future := make([]bundle.Bundle, len(w.Jobs))
+	for i := range w.Jobs {
+		future[i] = w.JobBundle(i)
+	}
+	b := New(spec.CacheSize, w.Catalog.SizeFunc(), future)
+	for _, req := range future {
+		res := b.Admit(req)
+		if !res.Unserviceable && !b.Cache().Supports(req) {
+			t.Fatal("serviced bundle not resident")
+		}
+		if err := b.Cache().CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,76 @@
+// Package policy defines the replacement-policy abstraction shared by the
+// simulator, the SRM service and the experiment harness, plus an adapter for
+// the core OptFileBundle policy. Concrete baselines live in the landlord and
+// classic subpackages.
+//
+// Every policy is bundle-aware in the sense required by the paper: Admit
+// receives a whole file-bundle, a request-hit needs every file resident, and
+// a policy never evicts files of the request it is currently admitting.
+package policy
+
+import (
+	"fbcache/internal/bundle"
+	"fbcache/internal/cache"
+	"fbcache/internal/core"
+)
+
+// Result reports the effect of admitting one request. It is structurally
+// identical to core.Result so the adapter is a plain conversion.
+type Result struct {
+	Hit            bool
+	BytesRequested bundle.Size
+	BytesLoaded    bundle.Size
+	FilesLoaded    int
+	FilesEvicted   int
+	Unserviceable  bool
+	// Loaded lists the files fetched by this admission, for timed simulators.
+	Loaded bundle.Bundle
+	// Evicted lists the files pushed out, for store-backed deployments.
+	Evicted bundle.Bundle
+}
+
+// Policy is a bundle-aware cache replacement policy bound to its own cache.
+type Policy interface {
+	// Name identifies the policy in experiment output (e.g. "landlord").
+	Name() string
+	// Admit processes one job request, performing any evictions and loads.
+	Admit(b bundle.Bundle) Result
+	// Cache exposes the policy's cache for inspection.
+	Cache() *cache.Cache
+}
+
+// Factory builds a fresh policy instance over a new cache — experiments
+// construct one instance per (policy, run) pair so state never leaks between
+// sweep points.
+type Factory func(capacity bundle.Size, sizeOf bundle.SizeFunc) Policy
+
+// optAdapter lifts *core.OptFileBundle to the Policy interface.
+type optAdapter struct{ p *core.OptFileBundle }
+
+func (a optAdapter) Name() string        { return a.p.Name() }
+func (a optAdapter) Cache() *cache.Cache { return a.p.Cache() }
+
+func (a optAdapter) Admit(b bundle.Bundle) Result {
+	r := a.p.Admit(b)
+	return Result{
+		Hit:            r.Hit,
+		BytesRequested: r.BytesRequested,
+		BytesLoaded:    r.BytesLoaded,
+		FilesLoaded:    r.FilesLoaded,
+		FilesEvicted:   r.FilesEvicted,
+		Unserviceable:  r.Unserviceable,
+		Loaded:         r.Loaded,
+		Evicted:        r.Evicted,
+	}
+}
+
+// WrapOptFileBundle adapts a core.OptFileBundle to the Policy interface.
+func WrapOptFileBundle(p *core.OptFileBundle) Policy { return optAdapter{p} }
+
+// OptFileBundleFactory returns a Factory producing OptFileBundle policies
+// with the given options.
+func OptFileBundleFactory(opts core.Options) Factory {
+	return func(capacity bundle.Size, sizeOf bundle.SizeFunc) Policy {
+		return WrapOptFileBundle(core.New(capacity, sizeOf, opts))
+	}
+}

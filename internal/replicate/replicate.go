@@ -1,0 +1,139 @@
+// Package replicate implements the "strategic data replication" building
+// block of §1: given the observed request history, the grid topology and
+// the current replica catalog, it plans which files to copy to the local
+// site so that future staging is cheap — greedy by expected transfer-time
+// savings per replicated byte, under a replication-space budget.
+//
+// The planner is advisory: Plan returns actions, Apply commits them to the
+// replica catalog. Deployments would run it periodically off the SRM's
+// history.
+package replicate
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"fbcache/internal/bundle"
+	"fbcache/internal/grid"
+	"fbcache/internal/history"
+)
+
+// Action is one planned replication: copy File from From to the local site.
+type Action struct {
+	File bundle.FileID
+	From grid.SiteID
+	Size bundle.Size
+	// SavingsSec is the expected staging-time saving per future access.
+	SavingsSec float64
+	// Heat is the file's observed access weight (sum of request values of
+	// the history entries using it).
+	Heat float64
+}
+
+// Plan computes a replication plan within `budget` bytes of local replica
+// space. Files already replicated locally are skipped; files without any
+// reachable replica are reported as an error (the catalog is inconsistent).
+func Plan(hist *history.History, topo *grid.Topology, reps *grid.Replicas, sizeOf bundle.SizeFunc, budget bundle.Size) ([]Action, error) {
+	if hist == nil || topo == nil || reps == nil || sizeOf == nil {
+		return nil, fmt.Errorf("replicate: nil input")
+	}
+	if budget < 0 {
+		budget = 0
+	}
+
+	// File heat: Σ value of history entries using the file.
+	heat := make(map[bundle.FileID]float64)
+	for _, e := range hist.Candidates() {
+		for _, f := range e.Bundle {
+			heat[f] += e.Value
+		}
+	}
+
+	local := topo.Local()
+	var candidates []Action
+	for f, h := range heat {
+		size := sizeOf(f)
+		if hasLocal(reps, f, local) {
+			continue
+		}
+		src, cost, ok := reps.BestSource(topo, f, size)
+		if !ok {
+			return nil, fmt.Errorf("replicate: no reachable replica for file %d", f)
+		}
+		localCost := topo.TransferSeconds(local, size)
+		saving := cost - localCost
+		if saving <= 0 || math.IsInf(saving, 0) {
+			continue
+		}
+		candidates = append(candidates, Action{
+			File: f, From: src, Size: size,
+			SavingsSec: saving, Heat: h,
+		})
+	}
+
+	// Greedy: highest expected total saving per replicated byte first.
+	sort.Slice(candidates, func(i, j int) bool {
+		di := density(candidates[i])
+		dj := density(candidates[j])
+		if di != dj {
+			return di > dj
+		}
+		return candidates[i].File < candidates[j].File
+	})
+
+	var plan []Action
+	var used bundle.Size
+	for _, a := range candidates {
+		if used+a.Size > budget {
+			continue
+		}
+		used += a.Size
+		plan = append(plan, a)
+	}
+	return plan, nil
+}
+
+// density is heat-weighted saving per byte; zero-size files rank first.
+func density(a Action) float64 {
+	total := a.Heat * a.SavingsSec
+	if a.Size <= 0 {
+		return math.Inf(1)
+	}
+	return total / float64(a.Size)
+}
+
+func hasLocal(reps *grid.Replicas, f bundle.FileID, local grid.SiteID) bool {
+	for _, s := range reps.Sites(f) {
+		if s == local {
+			return true
+		}
+	}
+	return false
+}
+
+// Apply commits a plan to the replica catalog (adds local replicas).
+func Apply(plan []Action, topo *grid.Topology, reps *grid.Replicas) {
+	for _, a := range plan {
+		reps.Add(a.File, topo.Local())
+	}
+}
+
+// TotalBytes reports the replica space a plan consumes.
+func TotalBytes(plan []Action) bundle.Size {
+	var total bundle.Size
+	for _, a := range plan {
+		total += a.Size
+	}
+	return total
+}
+
+// TotalSavings reports the heat-weighted staging-time savings of a plan
+// (seconds, summed over expected future accesses at observed heat).
+func TotalSavings(plan []Action) float64 {
+	total := 0.0
+	for _, a := range plan {
+		total += a.Heat * a.SavingsSec
+	}
+	return total
+}

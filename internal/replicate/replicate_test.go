@@ -1,0 +1,152 @@
+package replicate
+
+import (
+	"testing"
+
+	"fbcache/internal/bundle"
+	"fbcache/internal/grid"
+	"fbcache/internal/history"
+	"fbcache/internal/mss"
+)
+
+// testGrid: local fast site + slow remote site holding everything.
+func testGrid(t *testing.T, files []bundle.FileID) (*grid.Topology, *grid.Replicas) {
+	t.Helper()
+	topo, err := grid.NewTopology("local", mss.Config{
+		Name: "disk", LatencySec: 0.1, BandwidthBps: 200e6, Channels: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote, err := topo.AddSite("remote", mss.Config{
+		Name: "tape", LatencySec: 10, BandwidthBps: 50e6, Channels: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := topo.Connect(topo.Local(), remote, grid.Link{LatencySec: 1, BandwidthBps: 20e6}); err != nil {
+		t.Fatal(err)
+	}
+	reps := grid.NewReplicas()
+	for _, f := range files {
+		reps.Add(f, remote)
+	}
+	return topo, reps
+}
+
+func sizeConst(s bundle.Size) bundle.SizeFunc {
+	return func(bundle.FileID) bundle.Size { return s }
+}
+
+func TestPlanPrefersHotFiles(t *testing.T) {
+	topo, reps := testGrid(t, []bundle.FileID{1, 2, 3})
+	h := history.New(history.Config{})
+	for i := 0; i < 10; i++ {
+		h.Observe(bundle.New(1)) // f1 hot
+	}
+	h.Observe(bundle.New(2)) // f2 lukewarm
+	h.Observe(bundle.New(3))
+
+	// Budget for exactly one file.
+	plan, err := Plan(h, topo, reps, sizeConst(100*bundle.MB), 100*bundle.MB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan) != 1 {
+		t.Fatalf("plan = %+v", plan)
+	}
+	if plan[0].File != 1 {
+		t.Errorf("replicated f%d, want hot f1", plan[0].File)
+	}
+	if plan[0].Heat != 10 || plan[0].SavingsSec <= 0 {
+		t.Errorf("action = %+v", plan[0])
+	}
+}
+
+func TestPlanRespectsBudget(t *testing.T) {
+	topo, reps := testGrid(t, []bundle.FileID{1, 2, 3, 4})
+	h := history.New(history.Config{})
+	h.Observe(bundle.New(1, 2, 3, 4))
+	plan, err := Plan(h, topo, reps, sizeConst(bundle.MB), 2*bundle.MB+bundle.MB/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan) != 2 {
+		t.Fatalf("plan length = %d, want 2 within 2.5MB budget", len(plan))
+	}
+	if TotalBytes(plan) > 2*bundle.MB+bundle.MB/2 {
+		t.Errorf("plan overruns budget: %v", TotalBytes(plan))
+	}
+	// Zero budget -> empty plan.
+	plan, err = Plan(h, topo, reps, sizeConst(bundle.MB), 0)
+	if err != nil || len(plan) != 0 {
+		t.Errorf("zero budget plan = %v, %v", plan, err)
+	}
+}
+
+func TestPlanSkipsAlreadyLocal(t *testing.T) {
+	topo, reps := testGrid(t, []bundle.FileID{1, 2})
+	reps.Add(1, topo.Local())
+	h := history.New(history.Config{})
+	for i := 0; i < 5; i++ {
+		h.Observe(bundle.New(1, 2))
+	}
+	plan, err := Plan(h, topo, reps, sizeConst(bundle.MB), 10*bundle.MB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan) != 1 || plan[0].File != 2 {
+		t.Errorf("plan = %+v, want only f2", plan)
+	}
+}
+
+func TestPlanErrorsOnMissingReplica(t *testing.T) {
+	topo, reps := testGrid(t, []bundle.FileID{1})
+	h := history.New(history.Config{})
+	h.Observe(bundle.New(1, 9)) // f9 not in any catalog
+	if _, err := Plan(h, topo, reps, sizeConst(bundle.MB), bundle.MB); err == nil {
+		t.Error("missing replica accepted")
+	}
+}
+
+func TestPlanNilInputs(t *testing.T) {
+	if _, err := Plan(nil, nil, nil, nil, 1); err == nil {
+		t.Error("nil inputs accepted")
+	}
+}
+
+func TestApplyAndSavings(t *testing.T) {
+	topo, reps := testGrid(t, []bundle.FileID{1, 2})
+	h := history.New(history.Config{})
+	for i := 0; i < 4; i++ {
+		h.Observe(bundle.New(1, 2))
+	}
+	plan, err := Plan(h, topo, reps, sizeConst(bundle.MB), 10*bundle.MB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if TotalSavings(plan) <= 0 {
+		t.Error("no savings reported")
+	}
+	Apply(plan, topo, reps)
+	for _, f := range []bundle.FileID{1, 2} {
+		src, _, ok := reps.BestSource(topo, f, bundle.MB)
+		if !ok || src != topo.Local() {
+			t.Errorf("f%d best source = %v after Apply", f, src)
+		}
+	}
+	// Re-planning now yields nothing.
+	plan, err = Plan(h, topo, reps, sizeConst(bundle.MB), 10*bundle.MB)
+	if err != nil || len(plan) != 0 {
+		t.Errorf("second plan = %v, %v", plan, err)
+	}
+}
+
+func TestPlanEmptyHistory(t *testing.T) {
+	topo, reps := testGrid(t, []bundle.FileID{1})
+	h := history.New(history.Config{})
+	plan, err := Plan(h, topo, reps, sizeConst(bundle.MB), bundle.MB)
+	if err != nil || len(plan) != 0 {
+		t.Errorf("plan = %v, %v", plan, err)
+	}
+}

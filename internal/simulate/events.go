@@ -1,0 +1,369 @@
+package simulate
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"fbcache/internal/bundle"
+	"fbcache/internal/grid"
+	"fbcache/internal/mss"
+	"fbcache/internal/policy"
+	"fbcache/internal/stats"
+	"fbcache/internal/workload"
+)
+
+// EventOptions configures the discrete-event simulation.
+type EventOptions struct {
+	// ArrivalRate is the mean job arrival rate (jobs/second); arrivals are
+	// Poisson. Must be positive.
+	ArrivalRate float64
+	// ProcessSeconds is the compute time of a job once its bundle is staged
+	// and pinned; nil means a fixed 1 second.
+	ProcessSeconds func(b bundle.Bundle) float64
+	// MSS describes the archive misses are fetched from. Ignored when Grid
+	// is set.
+	MSS mss.Config
+	// Grid, when non-nil, replaces the single MSS with a multi-site fetch
+	// model: each file is pulled from its cheapest reachable replica,
+	// queueing on that site's MSS channels and paying the WAN transfer on
+	// top (§2's data-grid setting).
+	Grid *GridConfig
+	// Slots bounds concurrently executing jobs (default 4).
+	Slots int
+	// Seed drives the arrival process.
+	Seed int64
+	// MaxJobs truncates the workload when > 0.
+	MaxJobs int
+}
+
+// GridConfig wires a topology and replica catalog into the simulation.
+type GridConfig struct {
+	Topology *grid.Topology
+	Replicas *grid.Replicas
+}
+
+// stager models where miss traffic comes from and how long it takes.
+type stager interface {
+	// stage schedules transfers for files at time now and returns when the
+	// last one lands in the cache.
+	stage(now float64, files bundle.Bundle, sizeOf bundle.SizeFunc) (float64, error)
+	// utilization reports mean transfer-channel utilization over [0, horizon].
+	utilization(horizon float64) float64
+}
+
+// mssStager is the single-archive model.
+type mssStager struct{ sys *mss.System }
+
+func (s mssStager) stage(now float64, files bundle.Bundle, sizeOf bundle.SizeFunc) (float64, error) {
+	return s.sys.FetchBundle(now, files, sizeOf), nil
+}
+
+func (s mssStager) utilization(h float64) float64 { return s.sys.Utilization(h) }
+
+// gridStager pulls each file from its cheapest replica: the source site's
+// MSS channels queue the read; the WAN hop adds latency + size/bandwidth on
+// top (WAN links are modelled as uncontended).
+type gridStager struct {
+	topo  *grid.Topology
+	reps  *grid.Replicas
+	sites []*mss.System // indexed by SiteID
+}
+
+func newGridStager(cfg *GridConfig) (*gridStager, error) {
+	if cfg.Topology == nil || cfg.Replicas == nil {
+		return nil, fmt.Errorf("simulate: GridConfig needs Topology and Replicas")
+	}
+	g := &gridStager{topo: cfg.Topology, reps: cfg.Replicas}
+	for i := 0; i < cfg.Topology.NumSites(); i++ {
+		site, err := cfg.Topology.Site(grid.SiteID(i))
+		if err != nil {
+			return nil, err
+		}
+		sys, err := mss.NewSystem(site.MSS)
+		if err != nil {
+			return nil, err
+		}
+		g.sites = append(g.sites, sys)
+	}
+	return g, nil
+}
+
+func (g *gridStager) stage(now float64, files bundle.Bundle, sizeOf bundle.SizeFunc) (float64, error) {
+	finish := now
+	for _, f := range files {
+		size := sizeOf(f)
+		src, _, ok := g.reps.BestSource(g.topo, f, size)
+		if !ok {
+			return 0, fmt.Errorf("simulate: no reachable replica for file %d", f)
+		}
+		mssDone := g.sites[src].Fetch(now, size)
+		done := mssDone + g.wanSeconds(src, size)
+		if done > finish {
+			finish = done
+		}
+	}
+	return finish, nil
+}
+
+func (g *gridStager) wanSeconds(from grid.SiteID, size bundle.Size) float64 {
+	if from == g.topo.Local() {
+		return 0
+	}
+	// TransferSeconds = MSS + WAN; subtract the MSS part to isolate WAN.
+	total := g.topo.TransferSeconds(from, size)
+	site, err := g.topo.Site(from)
+	if err != nil {
+		return 0
+	}
+	return total - site.MSS.TransferSeconds(size)
+}
+
+func (g *gridStager) utilization(h float64) float64 {
+	if len(g.sites) == 0 || h <= 0 {
+		return 0
+	}
+	total := 0.0
+	for _, s := range g.sites {
+		total += s.Utilization(h)
+	}
+	return total / float64(len(g.sites))
+}
+
+// EventStats summarizes a discrete-event run.
+type EventStats struct {
+	Jobs              int64
+	Makespan          float64 // seconds from first arrival to last completion
+	Throughput        float64 // jobs per second
+	MeanResponse      float64 // arrival -> completion
+	P95Response       float64
+	MeanStaging       float64 // arrival -> bundle fully staged
+	HitRatio          float64
+	ByteMissRatio     float64
+	BytesLoaded       bundle.Size
+	MSSUtilization    float64
+	UnservedOversized int64
+}
+
+type eventKind int
+
+const (
+	evArrival eventKind = iota
+	evCompletion
+)
+
+type event struct {
+	at   float64
+	kind eventKind
+	job  int // index into jobs (arrival) or running-job handle (completion)
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int            { return len(h) }
+func (h eventHeap) Less(i, j int) bool  { return h[i].at < h[j].at }
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// RunEvents runs the timed data-grid simulation: jobs arrive (Poisson),
+// queue for an execution slot, have their bundle admitted by the policy,
+// stage missing files through the MSS transfer channels, pin their bundle
+// while processing, and release it on completion. Response time spans
+// arrival to completion, so both cache misses and slot contention show up —
+// the throughput view of "optimal service" from §2.
+func RunEvents(w *workload.Workload, p policy.Policy, opts EventOptions) (EventStats, error) {
+	if w == nil || p == nil {
+		return EventStats{}, fmt.Errorf("simulate: nil workload or policy")
+	}
+	if opts.ArrivalRate <= 0 {
+		return EventStats{}, fmt.Errorf("simulate: ArrivalRate must be positive")
+	}
+	if opts.Slots <= 0 {
+		opts.Slots = 4
+	}
+	proc := opts.ProcessSeconds
+	if proc == nil {
+		proc = func(bundle.Bundle) float64 { return 1 }
+	}
+	var archive stager
+	if opts.Grid != nil {
+		g, err := newGridStager(opts.Grid)
+		if err != nil {
+			return EventStats{}, err
+		}
+		archive = g
+	} else {
+		sys, err := mss.NewSystem(opts.MSS)
+		if err != nil {
+			return EventStats{}, err
+		}
+		archive = mssStager{sys: sys}
+	}
+
+	jobs := w.Jobs
+	if opts.MaxJobs > 0 && opts.MaxJobs < len(jobs) {
+		jobs = jobs[:opts.MaxJobs]
+	}
+	if len(jobs) == 0 {
+		return EventStats{}, nil
+	}
+
+	rng := rand.New(rand.NewSource(opts.Seed))
+	sizeOf := w.Catalog.SizeFunc()
+	capacity := p.Cache().Capacity()
+
+	// Pre-draw arrival times.
+	arrivals := make([]float64, len(jobs))
+	t := 0.0
+	for i := range arrivals {
+		t += rng.ExpFloat64() / opts.ArrivalRate
+		arrivals[i] = t
+	}
+
+	type running struct {
+		bundleRef bundle.Bundle
+		arrival   float64
+	}
+
+	var (
+		h           eventHeap
+		waiting     []int // job indices queued for a slot, FIFO
+		inFlight    = make(map[int]running)
+		nextHandle  int
+		slotsFree   = opts.Slots
+		pinnedBytes bundle.Size
+
+		responses []float64
+		stagings  []float64
+		hits      int64
+		bytesReq  bundle.Size
+		bytesMiss bundle.Size
+		oversized int64
+		lastDone  float64
+		stageErr  error
+	)
+
+	for i := range jobs {
+		heap.Push(&h, event{at: arrivals[i], kind: evArrival, job: i})
+	}
+
+	dispatch := func(now float64) {
+		for slotsFree > 0 && len(waiting) > 0 {
+			// Find the first waiting job whose bundle can coexist with the
+			// currently pinned bytes (otherwise the policy could be forced
+			// to evict pinned files). FIFO among eligible jobs.
+			pick := -1
+			for i, j := range waiting {
+				b := w.Requests[jobs[j]]
+				if b.TotalSize(sizeOf)+pinnedBytes <= capacity {
+					pick = i
+					break
+				}
+			}
+			if pick < 0 {
+				return
+			}
+			j := waiting[pick]
+			waiting = append(waiting[:pick], waiting[pick+1:]...)
+
+			b := w.Requests[jobs[j]]
+			res := p.Admit(b)
+			bytesReq += res.BytesRequested
+			bytesMiss += res.BytesLoaded
+			if res.Unserviceable {
+				oversized++
+				continue
+			}
+			if res.Hit {
+				hits++
+			}
+			staged := now
+			if len(res.Loaded) > 0 {
+				var err error
+				staged, err = archive.stage(now, res.Loaded, sizeOf)
+				if err != nil {
+					stageErr = err
+					return
+				}
+			}
+			stagings = append(stagings, staged-arrivals[j])
+
+			if err := p.Cache().PinBundle(b); err != nil {
+				// The eligibility check above should prevent this.
+				panic(fmt.Sprintf("simulate: pin failed: %v", err))
+			}
+			pinnedBytes += b.TotalSize(sizeOf)
+			slotsFree--
+			done := staged + proc(b)
+			handle := nextHandle
+			nextHandle++
+			inFlight[handle] = running{bundleRef: b, arrival: arrivals[j]}
+			heap.Push(&h, event{at: done, kind: evCompletion, job: handle})
+		}
+	}
+
+	for h.Len() > 0 && stageErr == nil {
+		e := heap.Pop(&h).(event)
+		switch e.kind {
+		case evArrival:
+			waiting = append(waiting, e.job)
+			dispatch(e.at)
+		case evCompletion:
+			r := inFlight[e.job]
+			delete(inFlight, e.job)
+			if err := p.Cache().UnpinBundle(r.bundleRef); err != nil {
+				panic(fmt.Sprintf("simulate: unpin failed: %v", err))
+			}
+			pinnedBytes -= r.bundleRef.TotalSize(sizeOf)
+			slotsFree++
+			responses = append(responses, e.at-r.arrival)
+			if e.at > lastDone {
+				lastDone = e.at
+			}
+			dispatch(e.at)
+		}
+	}
+
+	st := EventStats{
+		Jobs:              int64(len(responses)),
+		Makespan:          lastDone,
+		BytesLoaded:       bytesMiss,
+		UnservedOversized: oversized,
+	}
+	if stageErr != nil {
+		return EventStats{}, stageErr
+	}
+	if lastDone > 0 {
+		st.Throughput = float64(len(responses)) / lastDone
+		st.MSSUtilization = archive.utilization(lastDone)
+	}
+	if len(responses) > 0 {
+		var sum stats.Summary
+		for _, r := range responses {
+			sum.Add(r)
+		}
+		st.MeanResponse = sum.Mean()
+		st.P95Response = stats.Quantile(responses, 0.95)
+		st.HitRatio = float64(hits) / float64(len(responses))
+	}
+	if len(stagings) > 0 {
+		var sum stats.Summary
+		for _, s := range stagings {
+			sum.Add(s)
+		}
+		st.MeanStaging = sum.Mean()
+	}
+	if bytesReq > 0 {
+		st.ByteMissRatio = float64(bytesMiss) / float64(bytesReq)
+	}
+	sort.Float64s(responses) // determinism of downstream consumers
+	return st, nil
+}

@@ -1,0 +1,124 @@
+package simulate
+
+import (
+	"math/rand"
+	"testing"
+
+	"fbcache/internal/bundle"
+	"fbcache/internal/core"
+	"fbcache/internal/history"
+	"fbcache/internal/policy"
+	"fbcache/internal/policy/classic"
+	"fbcache/internal/policy/landlord"
+	"fbcache/internal/workload"
+)
+
+// TestSoakAllPoliciesAllModes is the long mixed stress run: every policy
+// variant crossed with every service mode (plain, queued, hybrid, timed)
+// over a churning workload, with cache invariants checked throughout. It
+// exists to catch interaction bugs none of the focused tests provoke.
+func TestSoakAllPoliciesAllModes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	spec := workload.DefaultSpec()
+	spec.Jobs = 1200
+	spec.NumFiles = 150
+	spec.NumRequests = 90
+	spec.CacheSize = 1 * bundle.GB // tight: heavy replacement churn
+	spec.MaxFilePct = 0.08
+	spec.MaxBundleFrac = 0.5
+	spec.Popularity = workload.Zipf
+	spec.Clusters = 15
+	w, err := workload.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	factories := map[string]policy.Factory{
+		"opt-cache-resident": policy.OptFileBundleFactory(core.Options{
+			History: history.Config{Truncation: history.CacheResident},
+		}),
+		"opt-window-decay": policy.OptFileBundleFactory(core.Options{
+			History:     history.Config{Truncation: history.Window, Limit: 48},
+			DecayEvery:  100,
+			DecayFactor: 0.7,
+		}),
+		"opt-prefetch-literal": policy.OptFileBundleFactory(core.Options{
+			History:      history.Config{Truncation: history.CacheResident},
+			Prefetch:     true,
+			LiteralEvict: true,
+		}),
+		"landlord": landlord.Factory(),
+		"gdsf":     classic.GDSFFactory(),
+		"lru":      classic.LRUFactory(),
+	}
+
+	for name, mk := range factories {
+		name, mk := name, mk
+		t.Run(name, func(t *testing.T) {
+			// Plain paranoid run.
+			p := mk(spec.CacheSize, w.Catalog.SizeFunc())
+			col, err := Run(w, p, Options{Paranoid: true, Warmup: 100})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if bmr := col.ByteMissRatio(); bmr <= 0 || bmr > 1 {
+				t.Errorf("plain: byte miss %v", bmr)
+			}
+
+			// Queued run.
+			p2 := mk(spec.CacheSize, w.Catalog.SizeFunc())
+			col2, err := Run(w, p2, Options{QueueLength: 20, Paranoid: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if col2.Jobs() != int64(spec.Jobs) {
+				t.Errorf("queued: served %d of %d", col2.Jobs(), spec.Jobs)
+			}
+
+			// Hybrid run.
+			p3 := mk(spec.CacheSize, w.Catalog.SizeFunc())
+			st, err := RunHybrid(w, p3, HybridOptions{BundleFraction: 0.6, Seed: 5, Paranoid: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.BundleJobs+st.PerFileJobs != int64(spec.Jobs) {
+				t.Errorf("hybrid: lost jobs")
+			}
+
+			// Timed run with pinning.
+			p4 := mk(spec.CacheSize, w.Catalog.SizeFunc())
+			ev, err := RunEvents(w, p4, EventOptions{ArrivalRate: 4, MSS: fastMSS(), Seed: 2, MaxJobs: 600})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ev.Jobs != 600 {
+				t.Errorf("events: %d jobs", ev.Jobs)
+			}
+			for _, f := range p4.Cache().Resident() {
+				if p4.Cache().Pinned(f) {
+					t.Fatalf("events: leaked pin on %d", f)
+				}
+			}
+		})
+	}
+
+	// Adversarial bundle stream straight at one policy: random duplicates,
+	// singletons, giant unserviceable bundles, empty bundles.
+	p := factories["opt-cache-resident"](spec.CacheSize, w.Catalog.SizeFunc())
+	rng := rand.New(rand.NewSource(123))
+	for i := 0; i < 2000; i++ {
+		var ids []bundle.FileID
+		for k := 0; k < rng.Intn(12); k++ {
+			ids = append(ids, bundle.FileID(rng.Intn(spec.NumFiles)))
+		}
+		res := p.Admit(bundle.New(ids...))
+		if !res.Unserviceable && !p.Cache().Supports(bundle.New(ids...)) {
+			t.Fatalf("step %d: serviced bundle not resident", i)
+		}
+		if err := p.Cache().CheckInvariants(); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+	}
+}

@@ -1,0 +1,298 @@
+package solver
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fbcache/internal/bundle"
+	"fbcache/internal/core"
+)
+
+func unit(bundle.FileID) bundle.Size { return 1 }
+
+func TestSolveExactPaperExample(t *testing.T) {
+	cands := []core.Candidate{
+		{Bundle: bundle.New(1, 3, 5), Value: 1},
+		{Bundle: bundle.New(2, 4, 6, 7), Value: 1},
+		{Bundle: bundle.New(1, 5), Value: 1},
+		{Bundle: bundle.New(4, 6, 7), Value: 1},
+		{Bundle: bundle.New(3, 5), Value: 1},
+		{Bundle: bundle.New(5, 6, 7), Value: 1},
+	}
+	sol := SolveExact(cands, 3, unit)
+	if sol.Value != 3 {
+		t.Errorf("OPT = %v, want 3 (r1,r3,r5 in {f1,f3,f5})", sol.Value)
+	}
+	if !sol.Files.Equal(bundle.New(1, 3, 5)) {
+		t.Errorf("Files = %v, want {f1,f3,f5}", sol.Files)
+	}
+}
+
+func TestSolveExactEmptyAndDegenerate(t *testing.T) {
+	sol := SolveExact(nil, 10, unit)
+	if sol.Value != 0 || len(sol.Chosen) != 0 {
+		t.Errorf("empty: %+v", sol)
+	}
+	sol = SolveExact([]core.Candidate{{Bundle: bundle.New(1), Value: 5}}, 0, unit)
+	if sol.Value != 0 {
+		t.Errorf("zero capacity: %+v", sol)
+	}
+	sol = SolveExact([]core.Candidate{{Bundle: bundle.New(1), Value: 5}}, -3, unit)
+	if sol.Value != 0 {
+		t.Errorf("negative capacity: %+v", sol)
+	}
+	// Zero-size bundle always fits.
+	zero := func(bundle.FileID) bundle.Size { return 0 }
+	sol = SolveExact([]core.Candidate{{Bundle: bundle.New(1), Value: 5}}, 0, zero)
+	if sol.Value != 5 {
+		t.Errorf("zero-size: %+v", sol)
+	}
+}
+
+func TestSolveExactSharedFiles(t *testing.T) {
+	// Three requests sharing f1: optimal packs all three in capacity 4.
+	cands := []core.Candidate{
+		{Bundle: bundle.New(1, 2), Value: 1},
+		{Bundle: bundle.New(1, 3), Value: 1},
+		{Bundle: bundle.New(1, 4), Value: 1},
+	}
+	sol := SolveExact(cands, 4, unit)
+	if sol.Value != 3 {
+		t.Errorf("OPT = %v, want 3", sol.Value)
+	}
+	if len(sol.Chosen) != 3 {
+		t.Errorf("Chosen = %v", sol.Chosen)
+	}
+}
+
+func TestSolveExactTooLargePanics(t *testing.T) {
+	cands := make([]core.Candidate, MaxExactRequests+1)
+	for i := range cands {
+		cands[i] = core.Candidate{Bundle: bundle.New(bundle.FileID(i)), Value: 1}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	SolveExact(cands, 5, unit)
+}
+
+func TestKnapsackClassic(t *testing.T) {
+	items := []KnapsackItem{
+		{Value: 60, Weight: 10},
+		{Value: 100, Weight: 20},
+		{Value: 120, Weight: 30},
+	}
+	v, chosen := Knapsack(items, 50)
+	if v != 220 {
+		t.Errorf("value = %v, want 220", v)
+	}
+	if len(chosen) != 2 || chosen[0] != 1 || chosen[1] != 2 {
+		t.Errorf("chosen = %v, want [1 2]", chosen)
+	}
+}
+
+func TestKnapsackEdgeCases(t *testing.T) {
+	if v, c := Knapsack(nil, 10); v != 0 || len(c) != 0 {
+		t.Errorf("empty: %v %v", v, c)
+	}
+	if v, _ := Knapsack([]KnapsackItem{{Value: 5, Weight: 3}}, 0); v != 0 {
+		t.Errorf("zero capacity: %v", v)
+	}
+	if v, _ := Knapsack([]KnapsackItem{{Value: 5, Weight: 0}}, 0); v != 5 {
+		t.Errorf("zero weight: %v", v)
+	}
+	if v, _ := Knapsack([]KnapsackItem{{Value: 5, Weight: 3}}, -1); v != 0 {
+		t.Errorf("negative capacity: %v", v)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("negative weight must panic")
+		}
+	}()
+	Knapsack([]KnapsackItem{{Value: 1, Weight: -1}}, 5)
+}
+
+// When every file belongs to exactly one request, FBC is a knapsack
+// (§4 first reduction). The exact solver and the DP must agree.
+func TestExactMatchesKnapsackOnDisjointInstances(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(10)
+		cands := make([]core.Candidate, n)
+		items := make([]KnapsackItem, n)
+		sizes := make(map[bundle.FileID]bundle.Size)
+		next := bundle.FileID(0)
+		for i := 0; i < n; i++ {
+			k := 1 + rng.Intn(3)
+			ids := make([]bundle.FileID, k)
+			var w int64
+			for j := 0; j < k; j++ {
+				ids[j] = next
+				s := bundle.Size(1 + rng.Intn(5))
+				sizes[next] = s
+				w += int64(s)
+				next++
+			}
+			v := float64(1 + rng.Intn(20))
+			cands[i] = core.Candidate{Bundle: bundle.New(ids...), Value: v}
+			items[i] = KnapsackItem{Value: v, Weight: w}
+		}
+		capacity := bundle.Size(1 + rng.Intn(30))
+		sizeOf := func(f bundle.FileID) bundle.Size { return sizes[f] }
+		exact := SolveExact(cands, capacity, sizeOf)
+		kv, _ := Knapsack(items, int64(capacity))
+		if math.Abs(exact.Value-kv) > 1e-9 {
+			t.Fatalf("trial %d: exact %v != knapsack %v", trial, exact.Value, kv)
+		}
+	}
+}
+
+func TestDKSReduction(t *testing.T) {
+	// K4 on vertices 0..3 (6 edges). DKS with k=3 -> any triangle: 3 edges.
+	var edges []Edge
+	for u := 0; u < 4; u++ {
+		for v := u + 1; v < 4; v++ {
+			edges = append(edges, Edge{u, v})
+		}
+	}
+	cands, cap3, sizeOf := DKSToFBC(4, edges, 3)
+	sol := SolveExact(cands, cap3, sizeOf)
+	if sol.Value != 3 {
+		t.Errorf("DKS k=3 on K4: OPT = %v, want 3 (a triangle)", sol.Value)
+	}
+	if sol.Files.Len() != 3 {
+		t.Errorf("vertex set size = %d, want 3", sol.Files.Len())
+	}
+	// k=4: the whole K4, 6 edges.
+	cands, cap4, sizeOf := DKSToFBC(4, edges, 4)
+	sol = SolveExact(cands, cap4, sizeOf)
+	if sol.Value != 6 {
+		t.Errorf("DKS k=4 on K4: OPT = %v, want 6", sol.Value)
+	}
+}
+
+func TestDKSBadEdgePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	DKSToFBC(2, []Edge{{0, 5}}, 1)
+}
+
+func TestMaxDegree(t *testing.T) {
+	cands := []core.Candidate{
+		{Bundle: bundle.New(1, 2)},
+		{Bundle: bundle.New(1, 3)},
+		{Bundle: bundle.New(1, 4)},
+		{Bundle: bundle.New(2, 3)},
+	}
+	if got := MaxDegree(cands); got != 3 {
+		t.Errorf("MaxDegree = %d, want 3 (f1)", got)
+	}
+	if got := MaxDegree(nil); got != 0 {
+		t.Errorf("MaxDegree(nil) = %d", got)
+	}
+}
+
+// The central property: greedy OptCacheSelect with the Step-3 guard achieves
+// at least ½(1−e^{−1/d})·OPT on random instances, and the resort variant plus
+// k=2 seeding achieves (1−e^{−1/d})·OPT.
+func TestQuickTheorem41Bound(t *testing.T) {
+	rng := rand.New(rand.NewSource(4242))
+	instance := func() ([]core.Candidate, bundle.Size, bundle.SizeFunc) {
+		nFiles := 4 + rng.Intn(8)
+		sizes := make([]bundle.Size, nFiles)
+		for i := range sizes {
+			sizes[i] = bundle.Size(1 + rng.Intn(6))
+		}
+		n := 2 + rng.Intn(8)
+		cands := make([]core.Candidate, n)
+		for i := range cands {
+			k := 1 + rng.Intn(3)
+			ids := make([]bundle.FileID, k)
+			for j := range ids {
+				ids[j] = bundle.FileID(rng.Intn(nFiles))
+			}
+			cands[i] = core.Candidate{
+				Bundle: bundle.New(ids...),
+				Value:  float64(1 + rng.Intn(10)),
+			}
+		}
+		capacity := bundle.Size(3 + rng.Intn(20))
+		return cands, capacity, func(f bundle.FileID) bundle.Size { return sizes[f] }
+	}
+	check := func() bool {
+		cands, capacity, sizeOf := instance()
+		opt := SolveExact(cands, capacity, sizeOf)
+		if opt.Value == 0 {
+			return true
+		}
+		d := MaxDegree(cands)
+		if d < 1 {
+			d = 1
+		}
+		deg := make(map[bundle.FileID]int)
+		for _, c := range cands {
+			for _, f := range c.Bundle {
+				deg[f]++
+			}
+		}
+		opts := core.SelectOptions{
+			SizeOf:   sizeOf,
+			DegreeOf: func(f bundle.FileID) int { return deg[f] },
+		}
+		halfBound := 0.5 * (1 - math.Exp(-1/float64(d))) * opt.Value
+		fullBound := (1 - math.Exp(-1/float64(d))) * opt.Value
+		const eps = 1e-9
+
+		for _, resort := range []bool{false, true} {
+			opts.Resort = resort
+			g := core.Select(cands, capacity, opts)
+			if g.Value+eps < halfBound {
+				t.Logf("resort=%v greedy %v < half bound %v (OPT %v, d %d)",
+					resort, g.Value, halfBound, opt.Value, d)
+				return false
+			}
+			if g.Value > opt.Value+eps {
+				t.Logf("greedy %v exceeds OPT %v — solver bug", g.Value, opt.Value)
+				return false
+			}
+		}
+		opts.Resort = true
+		s := core.SelectSeeded(cands, capacity, 2, opts)
+		if s.Value+eps < fullBound {
+			t.Logf("seeded %v < full bound %v (OPT %v, d %d)", s.Value, fullBound, opt.Value, d)
+			return false
+		}
+		if s.Value > opt.Value+eps {
+			t.Logf("seeded %v exceeds OPT %v", s.Value, opt.Value)
+			return false
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 120}
+	if err := quick.Check(func() bool { return check() }, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkSolveExact12(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	cands := make([]core.Candidate, 12)
+	for i := range cands {
+		ids := make([]bundle.FileID, 1+rng.Intn(3))
+		for j := range ids {
+			ids[j] = bundle.FileID(rng.Intn(10))
+		}
+		cands[i] = core.Candidate{Bundle: bundle.New(ids...), Value: float64(1 + rng.Intn(9))}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		SolveExact(cands, 8, unit)
+	}
+}

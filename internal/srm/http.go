@@ -1,0 +1,39 @@
+package srm
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// StatsHandler returns an http.Handler exposing the SRM's statistics for
+// monitoring: JSON at /stats (and for Accept: application/json anywhere),
+// a plain-text summary otherwise. srmd mounts it with -http.
+func StatsHandler(s *SRM) http.Handler {
+	if s == nil {
+		panic("srm: nil SRM")
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		snap := s.Stats()
+		if r.URL.Path == "/stats" || r.Header.Get("Accept") == "application/json" {
+			w.Header().Set("Content-Type", "application/json")
+			if err := json.NewEncoder(w).Encode(snap); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "policy          %s\n", snap.Policy)
+		fmt.Fprintf(w, "jobs            %d\n", snap.Jobs)
+		fmt.Fprintf(w, "hit ratio       %.4f\n", snap.HitRatio)
+		fmt.Fprintf(w, "byte miss ratio %.4f\n", snap.ByteMissRatio)
+		fmt.Fprintf(w, "bytes loaded    %v\n", snap.BytesLoaded)
+		fmt.Fprintf(w, "active jobs     %d (waiting %d)\n", snap.ActiveJobs, snap.WaitingJobs)
+		fmt.Fprintf(w, "pinned          %v\n", snap.PinnedBytes)
+		fmt.Fprintf(w, "cache           %v / %v\n", snap.CacheUsed, snap.CacheCapacity)
+	})
+}

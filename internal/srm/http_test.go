@@ -1,0 +1,85 @@
+package srm
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"fbcache/internal/bundle"
+)
+
+func TestStatsHandlerJSON(t *testing.T) {
+	s, _ := newTestSRM(100, 10, 20)
+	rel, _, err := s.Stage(bundle.New(0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+
+	srv := httptest.NewServer(StatsHandler(s))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	var snap Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Jobs != 1 || snap.ActiveJobs != 1 || snap.PinnedBytes != 30 {
+		t.Errorf("snapshot = %+v", snap)
+	}
+	if snap.Policy != "optfilebundle" {
+		t.Errorf("policy = %q", snap.Policy)
+	}
+}
+
+func TestStatsHandlerPlainText(t *testing.T) {
+	s, _ := newTestSRM(100, 10)
+	srv := httptest.NewServer(StatsHandler(s))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	buf := make([]byte, 4096)
+	n, _ := resp.Body.Read(buf)
+	body := string(buf[:n])
+	for _, want := range []string{"policy", "hit ratio", "cache"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("missing %q in:\n%s", want, body)
+		}
+	}
+}
+
+func TestStatsHandlerRejectsNonGET(t *testing.T) {
+	s, _ := newTestSRM(100)
+	srv := httptest.NewServer(StatsHandler(s))
+	defer srv.Close()
+	resp, err := http.Post(srv.URL, "text/plain", strings.NewReader("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestStatsHandlerNilPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	StatsHandler(nil)
+}

@@ -1,0 +1,243 @@
+package srm
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+
+	"fbcache/internal/bundle"
+)
+
+// The wire protocol is newline-delimited JSON over TCP. Each request is one
+// object; each response is one object. Operations:
+//
+//	{"op":"addfile","name":"evt-energy","size":1048576}
+//	{"op":"stage","files":["evt-energy","evt-momentum"]}   -> {"ok":true,"token":"t1","hit":false,...}
+//	{"op":"release","token":"t1"}
+//	{"op":"stats"}
+//
+// Tokens are per-connection; dropping the connection releases all bundles it
+// still holds (lease semantics), so a crashed client cannot pin the cache
+// forever.
+
+// Request is one protocol request.
+type Request struct {
+	Op    string   `json:"op"`
+	Name  string   `json:"name,omitempty"`
+	Size  int64    `json:"size,omitempty"`
+	Files []string `json:"files,omitempty"`
+	Token string   `json:"token,omitempty"`
+}
+
+// Response is one protocol response.
+type Response struct {
+	OK    bool   `json:"ok"`
+	Error string `json:"error,omitempty"`
+	Token string `json:"token,omitempty"`
+
+	Hit         bool        `json:"hit,omitempty"`
+	BytesLoaded bundle.Size `json:"bytes_loaded,omitempty"`
+
+	Stats *Snapshot `json:"stats,omitempty"`
+}
+
+// Server exposes an SRM over TCP.
+type Server struct {
+	srm *SRM
+	ln  net.Listener
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]bool
+}
+
+// Serve starts a server on addr (e.g. "127.0.0.1:0") and returns once the
+// listener is bound; connections are handled in background goroutines.
+func Serve(s *SRM, addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("srm: listen: %w", err)
+	}
+	srv := &Server{srm: s, ln: ln, conns: make(map[net.Conn]bool)}
+	go srv.acceptLoop()
+	return srv, nil
+}
+
+// Addr reports the bound address.
+func (srv *Server) Addr() string { return srv.ln.Addr().String() }
+
+// Close stops the listener and closes all connections.
+func (srv *Server) Close() error {
+	srv.mu.Lock()
+	srv.closed = true
+	for c := range srv.conns {
+		c.Close()
+	}
+	srv.mu.Unlock()
+	return srv.ln.Close()
+}
+
+func (srv *Server) acceptLoop() {
+	for {
+		conn, err := srv.ln.Accept()
+		if err != nil {
+			return
+		}
+		srv.mu.Lock()
+		if srv.closed {
+			srv.mu.Unlock()
+			conn.Close()
+			return
+		}
+		srv.conns[conn] = true
+		srv.mu.Unlock()
+		go srv.handle(conn)
+	}
+}
+
+func (srv *Server) handle(conn net.Conn) {
+	defer func() {
+		srv.mu.Lock()
+		delete(srv.conns, conn)
+		srv.mu.Unlock()
+		conn.Close()
+	}()
+
+	leases := make(map[string]Release)
+	nextToken := 0
+	defer func() {
+		for _, rel := range leases {
+			rel()
+		}
+	}()
+
+	dec := json.NewDecoder(bufio.NewReader(conn))
+	enc := json.NewEncoder(conn)
+	for {
+		var req Request
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		resp := srv.dispatch(&req, leases, &nextToken)
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+func (srv *Server) dispatch(req *Request, leases map[string]Release, nextToken *int) Response {
+	switch req.Op {
+	case "addfile":
+		if req.Name == "" {
+			return Response{Error: "addfile: empty name"}
+		}
+		if _, err := srv.srm.AddFile(req.Name, bundle.Size(req.Size)); err != nil {
+			return Response{Error: err.Error()}
+		}
+		return Response{OK: true}
+
+	case "stage":
+		if len(req.Files) == 0 {
+			return Response{Error: "stage: no files"}
+		}
+		rel, res, err := srv.srm.StageNames(req.Files)
+		if err != nil {
+			return Response{Error: err.Error()}
+		}
+		*nextToken++
+		token := fmt.Sprintf("t%d", *nextToken)
+		leases[token] = rel
+		return Response{OK: true, Token: token, Hit: res.Hit, BytesLoaded: res.BytesLoaded}
+
+	case "release":
+		rel, ok := leases[req.Token]
+		if !ok {
+			return Response{Error: fmt.Sprintf("release: unknown token %q", req.Token)}
+		}
+		delete(leases, req.Token)
+		rel()
+		return Response{OK: true}
+
+	case "stats":
+		st := srv.srm.Stats()
+		return Response{OK: true, Stats: &st}
+
+	default:
+		return Response{Error: fmt.Sprintf("unknown op %q", req.Op)}
+	}
+}
+
+// Client is a minimal protocol client.
+type Client struct {
+	conn net.Conn
+	dec  *json.Decoder
+	enc  *json.Encoder
+	mu   sync.Mutex
+}
+
+// Dial connects to an SRM server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("srm: dial: %w", err)
+	}
+	return &Client{
+		conn: conn,
+		dec:  json.NewDecoder(bufio.NewReader(conn)),
+		enc:  json.NewEncoder(conn),
+	}, nil
+}
+
+// Close drops the connection, releasing all leases held through it.
+func (c *Client) Close() error { return c.conn.Close() }
+
+func (c *Client) roundTrip(req Request) (Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.enc.Encode(req); err != nil {
+		return Response{}, fmt.Errorf("srm: send: %w", err)
+	}
+	var resp Response
+	if err := c.dec.Decode(&resp); err != nil {
+		return Response{}, fmt.Errorf("srm: recv: %w", err)
+	}
+	if resp.Error != "" {
+		return resp, fmt.Errorf("srm: server: %s", resp.Error)
+	}
+	return resp, nil
+}
+
+// AddFile registers a file with the server's catalog.
+func (c *Client) AddFile(name string, size bundle.Size) error {
+	_, err := c.roundTrip(Request{Op: "addfile", Name: name, Size: int64(size)})
+	return err
+}
+
+// Stage stages a bundle by file names; the returned token must be released.
+func (c *Client) Stage(files ...string) (token string, hit bool, loaded bundle.Size, err error) {
+	resp, err := c.roundTrip(Request{Op: "stage", Files: files})
+	if err != nil {
+		return "", false, 0, err
+	}
+	return resp.Token, resp.Hit, resp.BytesLoaded, nil
+}
+
+// Release releases a staged bundle.
+func (c *Client) Release(token string) error {
+	_, err := c.roundTrip(Request{Op: "release", Token: token})
+	return err
+}
+
+// Stats fetches a server snapshot.
+func (c *Client) Stats() (Snapshot, error) {
+	resp, err := c.roundTrip(Request{Op: "stats"})
+	if err != nil {
+		return Snapshot{}, err
+	}
+	if resp.Stats == nil {
+		return Snapshot{}, fmt.Errorf("srm: stats: empty response")
+	}
+	return *resp.Stats, nil
+}

@@ -1,0 +1,194 @@
+// Package srm implements the Storage Resource Manager service layer of §2:
+// the component that receives jobs' file-bundle requests, stages bundles
+// into the disk cache through a replacement policy, pins them for the
+// duration of processing, and releases them afterwards. It adds the
+// concurrency control the bare policies (which are single-goroutine) do not
+// have, plus a line-oriented TCP protocol (server.go) so remote clients can
+// use an SRM like a service — the proxy-server role described in the paper.
+package srm
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"fbcache/internal/bundle"
+	"fbcache/internal/metrics"
+	"fbcache/internal/policy"
+	"fbcache/internal/store"
+)
+
+// ErrTooLarge reports a bundle that can never be staged in this cache.
+var ErrTooLarge = errors.New("srm: bundle exceeds cache capacity")
+
+// ErrClosed reports an SRM that has been shut down.
+var ErrClosed = errors.New("srm: closed")
+
+// SRM is a thread-safe staging service over a replacement policy.
+type SRM struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	pol    policy.Policy
+	cat    *bundle.Catalog
+	sizeOf bundle.SizeFunc
+
+	pinnedBytes bundle.Size
+	active      int
+	waiting     int
+	closed      bool
+	col         metrics.Collector
+	store       *store.Store // optional; see WithStore
+}
+
+// New builds an SRM over the given policy and catalog. The catalog provides
+// name resolution for the wire protocol; programmatic callers may use
+// FileIDs directly.
+func New(pol policy.Policy, cat *bundle.Catalog) *SRM {
+	if pol == nil || cat == nil {
+		panic("srm: nil policy or catalog")
+	}
+	s := &SRM{pol: pol, cat: cat, sizeOf: cat.SizeFunc()}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// Release undoes a successful Stage. It is safe to call exactly once.
+type Release func()
+
+// Stage admits b into the cache and pins it, blocking while the bundle
+// cannot coexist with currently pinned bundles. On success the returned
+// Release must be called when the job finishes processing.
+func (s *SRM) Stage(b bundle.Bundle) (Release, policy.Result, error) {
+	size := b.TotalSize(s.sizeOf)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if size > s.pol.Cache().Capacity() {
+		res := policy.Result{BytesRequested: size, Unserviceable: true}
+		s.col.Record(res)
+		return nil, res, fmt.Errorf("%w: %v > %v", ErrTooLarge, size, s.pol.Cache().Capacity())
+	}
+	for !s.closed && s.pinnedBytes+size > s.pol.Cache().Capacity() {
+		s.waiting++
+		s.cond.Wait()
+		s.waiting--
+	}
+	if s.closed {
+		return nil, policy.Result{}, ErrClosed
+	}
+
+	res := s.pol.Admit(b)
+	s.col.Record(res)
+	if res.Unserviceable {
+		return nil, res, ErrTooLarge
+	}
+	if err := s.syncStore(res); err != nil {
+		return nil, res, err
+	}
+	// Pin what is actually resident: with a pass-through (bypass) caching
+	// policy some files of b are deliberately never cached, so only the
+	// cacheable part is pinned.
+	pinnable := b.Minus(s.pol.Cache().Missing(b))
+	if err := s.pol.Cache().PinBundle(pinnable); err != nil {
+		return nil, res, fmt.Errorf("srm: pin: %w", err)
+	}
+	pinnedSize := pinnable.TotalSize(s.sizeOf)
+	s.pinnedBytes += pinnedSize
+	s.active++
+
+	var once sync.Once
+	release := func() {
+		once.Do(func() {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			// Ignore unpin errors after Close: the cache may be gone.
+			_ = s.pol.Cache().UnpinBundle(pinnable)
+			s.pinnedBytes -= pinnedSize
+			s.active--
+			s.cond.Broadcast()
+		})
+	}
+	return release, res, nil
+}
+
+// StageWithTTL is Stage with a lease: if the caller has not released the
+// bundle after ttl, the SRM reclaims the pins itself, so a crashed or hung
+// job can never wedge the cache. Releasing after expiry is a harmless no-op.
+func (s *SRM) StageWithTTL(b bundle.Bundle, ttl time.Duration) (Release, policy.Result, error) {
+	release, res, err := s.Stage(b)
+	if err != nil {
+		return release, res, err
+	}
+	if ttl > 0 {
+		timer := time.AfterFunc(ttl, release)
+		inner := release
+		release = func() {
+			timer.Stop()
+			inner()
+		}
+	}
+	return release, res, nil
+}
+
+// StageNames resolves file names through the catalog and stages the bundle.
+func (s *SRM) StageNames(names []string) (Release, policy.Result, error) {
+	ids := make([]bundle.FileID, 0, len(names))
+	for _, n := range names {
+		id, ok := s.cat.Lookup(n)
+		if !ok {
+			return nil, policy.Result{}, fmt.Errorf("srm: unknown file %q", n)
+		}
+		ids = append(ids, id)
+	}
+	return s.Stage(bundle.FromSlice(ids))
+}
+
+// AddFile registers a file in the catalog (size in bytes) and returns its ID.
+func (s *SRM) AddFile(name string, size bundle.Size) (bundle.FileID, error) {
+	if size < 0 {
+		return 0, fmt.Errorf("srm: negative size for %q", name)
+	}
+	return s.cat.Add(name, size), nil
+}
+
+// Snapshot reports current service statistics.
+type Snapshot struct {
+	Jobs          int64
+	HitRatio      float64
+	ByteMissRatio float64
+	BytesLoaded   bundle.Size
+	ActiveJobs    int
+	WaitingJobs   int
+	PinnedBytes   bundle.Size
+	CacheUsed     bundle.Size
+	CacheCapacity bundle.Size
+	Policy        string
+}
+
+// Stats returns a consistent snapshot of the SRM's metrics.
+func (s *SRM) Stats() Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Snapshot{
+		Jobs:          s.col.Jobs(),
+		HitRatio:      s.col.HitRatio(),
+		ByteMissRatio: s.col.ByteMissRatio(),
+		BytesLoaded:   s.col.BytesLoaded(),
+		ActiveJobs:    s.active,
+		WaitingJobs:   s.waiting,
+		PinnedBytes:   s.pinnedBytes,
+		CacheUsed:     s.pol.Cache().Used(),
+		CacheCapacity: s.pol.Cache().Capacity(),
+		Policy:        s.pol.Name(),
+	}
+}
+
+// Close wakes all blocked stagers with ErrClosed. In-flight releases remain
+// valid.
+func (s *SRM) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	s.cond.Broadcast()
+}

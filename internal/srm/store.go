@@ -1,0 +1,60 @@
+package srm
+
+import (
+	"fmt"
+
+	"fbcache/internal/bundle"
+	"fbcache/internal/policy"
+	"fbcache/internal/store"
+)
+
+// WithStore attaches a file-backed store to the SRM: after every successful
+// Stage, files the policy loaded are materialized on disk and files it
+// evicted are deleted, so the cache directory always mirrors the policy's
+// residency. Call before serving traffic.
+func (s *SRM) WithStore(st *store.Store) *SRM {
+	if st == nil {
+		panic("srm: nil store")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.store = st
+	return s
+}
+
+// syncStore applies one admission's movements to the attached store.
+// Called with s.mu held.
+func (s *SRM) syncStore(res policy.Result) error {
+	if s.store == nil {
+		return nil
+	}
+	for _, f := range res.Evicted {
+		if err := s.store.Remove(f); err != nil {
+			return fmt.Errorf("srm: store evict %d: %w", f, err)
+		}
+	}
+	for _, f := range res.Loaded {
+		if _, _, err := s.store.Stage(f); err != nil {
+			return fmt.Errorf("srm: store load %d: %w", f, err)
+		}
+	}
+	return nil
+}
+
+// OpenStaged returns a reader over a staged file's bytes. Only valid while
+// the caller holds a Stage lease covering the file; requires WithStore.
+func (s *SRM) OpenStaged(f bundle.FileID) (storeReader, error) {
+	s.mu.Lock()
+	st := s.store
+	s.mu.Unlock()
+	if st == nil {
+		return nil, fmt.Errorf("srm: no store attached")
+	}
+	return st.Open(f)
+}
+
+// storeReader is the reader type returned by OpenStaged.
+type storeReader = interface {
+	Read(p []byte) (int, error)
+	Close() error
+}

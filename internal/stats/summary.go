@@ -1,0 +1,153 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary accumulates running statistics of a stream of float64 observations
+// using Welford's algorithm, so mean and variance are numerically stable even
+// over millions of samples.
+type Summary struct {
+	n        int64
+	mean, m2 float64
+	min, max float64
+}
+
+// Add records one observation.
+func (s *Summary) Add(x float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	delta := x - s.mean
+	s.mean += delta / float64(s.n)
+	s.m2 += delta * (x - s.mean)
+}
+
+// N reports the number of observations.
+func (s *Summary) N() int64 { return s.n }
+
+// Mean reports the arithmetic mean, or 0 with no observations.
+func (s *Summary) Mean() float64 { return s.mean }
+
+// Var reports the sample variance (n-1 denominator), or 0 for n < 2.
+func (s *Summary) Var() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// Stddev reports the sample standard deviation.
+func (s *Summary) Stddev() float64 { return math.Sqrt(s.Var()) }
+
+// Min reports the smallest observation, or 0 with no observations.
+func (s *Summary) Min() float64 { return s.min }
+
+// Max reports the largest observation, or 0 with no observations.
+func (s *Summary) Max() float64 { return s.max }
+
+func (s *Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g sd=%.4g min=%.4g max=%.4g",
+		s.n, s.Mean(), s.Stddev(), s.min, s.max)
+}
+
+// Histogram counts observations into fixed-width bins over [lo, hi); values
+// outside the range land in saturating edge bins. It is used by the harness
+// to sanity-check generated workloads (file size and bundle size spreads).
+type Histogram struct {
+	lo, hi float64
+	bins   []int64
+	under  int64
+	over   int64
+	total  int64
+}
+
+// NewHistogram builds a histogram with nbins bins spanning [lo, hi).
+func NewHistogram(lo, hi float64, nbins int) *Histogram {
+	if nbins <= 0 || hi <= lo {
+		panic(fmt.Sprintf("stats: bad histogram [%v,%v) bins=%d", lo, hi, nbins))
+	}
+	return &Histogram{lo: lo, hi: hi, bins: make([]int64, nbins)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	h.total++
+	switch {
+	case x < h.lo:
+		h.under++
+	case x >= h.hi:
+		h.over++
+	default:
+		i := int((x - h.lo) / (h.hi - h.lo) * float64(len(h.bins)))
+		if i == len(h.bins) { // FP edge
+			i--
+		}
+		h.bins[i]++
+	}
+}
+
+// Total reports the number of observations, including out-of-range ones.
+func (h *Histogram) Total() int64 { return h.total }
+
+// Bin reports the count in bin i.
+func (h *Histogram) Bin(i int) int64 { return h.bins[i] }
+
+// NumBins reports the bin count.
+func (h *Histogram) NumBins() int { return len(h.bins) }
+
+// OutOfRange reports observations below lo and at or above hi.
+func (h *Histogram) OutOfRange() (under, over int64) { return h.under, h.over }
+
+// Quantile computes the q-quantile (0 <= q <= 1) of a data slice.
+// The input is not modified. Linear interpolation between order statistics.
+func Quantile(data []float64, q float64) float64 {
+	if len(data) == 0 {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	s := make([]float64, len(data))
+	copy(s, data)
+	sort.Float64s(s)
+	pos := q * float64(len(s)-1)
+	i := int(pos)
+	if i >= len(s)-1 {
+		return s[len(s)-1]
+	}
+	frac := pos - float64(i)
+	return s[i]*(1-frac) + s[i+1]*frac
+}
+
+// ChiSquare computes the chi-square statistic of observed counts against
+// expected probabilities; used by tests to validate the Zipf sampler.
+func ChiSquare(observed []int64, probs []float64) float64 {
+	var n int64
+	for _, o := range observed {
+		n += o
+	}
+	var chi2 float64
+	for i, o := range observed {
+		e := probs[i] * float64(n)
+		if e == 0 {
+			continue
+		}
+		d := float64(o) - e
+		chi2 += d * d / e
+	}
+	return chi2
+}

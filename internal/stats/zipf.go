@@ -1,0 +1,112 @@
+// Package stats provides the stochastic building blocks for workload
+// generation and the summary statistics used by the experiment harness:
+// a finite Zipf sampler (the paper's 1/i popularity law), uniform samplers,
+// histograms and running summaries. Everything is seedable and deterministic.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Zipf samples ranks {0, 1, ..., n-1} with P(i) proportional to 1/(i+1)^s.
+//
+// The paper assigns the i-th most popular request probability proportional to
+// 1/i, i.e. exponent s = 1 — which the standard library's rand.Zipf cannot
+// express (it requires s > 1). This implementation supports any s >= 0 via an
+// explicit cumulative table and binary search; s = 0 degenerates to uniform.
+type Zipf struct {
+	cum []float64 // cumulative probabilities, cum[n-1] == 1
+	rng *rand.Rand
+}
+
+// NewZipf builds a sampler over n ranks with exponent s using rng.
+// It panics if n <= 0, s < 0, or rng is nil.
+func NewZipf(rng *rand.Rand, n int, s float64) *Zipf {
+	if n <= 0 {
+		panic(fmt.Sprintf("stats: Zipf needs n > 0, got %d", n))
+	}
+	if s < 0 || math.IsNaN(s) {
+		panic(fmt.Sprintf("stats: Zipf needs s >= 0, got %v", s))
+	}
+	if rng == nil {
+		panic("stats: nil rng")
+	}
+	cum := make([]float64, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += 1 / math.Pow(float64(i+1), s)
+		cum[i] = total
+	}
+	for i := range cum {
+		cum[i] /= total
+	}
+	cum[n-1] = 1 // guard against FP slack
+	return &Zipf{cum: cum, rng: rng}
+}
+
+// N reports the number of ranks.
+func (z *Zipf) N() int { return len(z.cum) }
+
+// Next draws a rank in [0, N).
+func (z *Zipf) Next() int {
+	u := z.rng.Float64()
+	return sort.SearchFloat64s(z.cum, u)
+}
+
+// Prob returns the probability of rank i.
+func (z *Zipf) Prob(i int) float64 {
+	if i < 0 || i >= len(z.cum) {
+		return 0
+	}
+	if i == 0 {
+		return z.cum[0]
+	}
+	return z.cum[i] - z.cum[i-1]
+}
+
+// Uniform samples {0, ..., n-1} equiprobably. It satisfies the same Sampler
+// interface as Zipf so workloads can switch popularity laws transparently.
+type Uniform struct {
+	n   int
+	rng *rand.Rand
+}
+
+// NewUniform builds a uniform sampler over n ranks.
+func NewUniform(rng *rand.Rand, n int) *Uniform {
+	if n <= 0 {
+		panic(fmt.Sprintf("stats: Uniform needs n > 0, got %d", n))
+	}
+	if rng == nil {
+		panic("stats: nil rng")
+	}
+	return &Uniform{n: n, rng: rng}
+}
+
+// N reports the number of ranks.
+func (u *Uniform) N() int { return u.n }
+
+// Next draws a rank in [0, N).
+func (u *Uniform) Next() int { return u.rng.Intn(u.n) }
+
+// Prob returns the probability of rank i.
+func (u *Uniform) Prob(i int) float64 {
+	if i < 0 || i >= u.n {
+		return 0
+	}
+	return 1 / float64(u.n)
+}
+
+// Sampler draws ranks from a finite popularity distribution.
+type Sampler interface {
+	Next() int
+	N() int
+	Prob(i int) float64
+}
+
+var (
+	_ Sampler = (*Zipf)(nil)
+	_ Sampler = (*Uniform)(nil)
+)

@@ -1,0 +1,64 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadJSON ensures arbitrary input never panics the JSON trace reader —
+// it must either produce a consistent workload or an error.
+func FuzzReadJSON(f *testing.F) {
+	// Seed with a valid trace.
+	w := mustSmallWorkload(f)
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, w); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add("")
+	f.Add(`{"version":1}`)
+	f.Add(`{"version":1,"cache_size":10,"file_sizes":[1],"requests":[[0]],"jobs":0}` + "\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		got, err := ReadJSON(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		// Successful parses must be internally consistent.
+		for i, j := range got.Jobs {
+			if j < 0 || j >= len(got.Requests) {
+				t.Fatalf("job %d references request %d of %d", i, j, len(got.Requests))
+			}
+		}
+		for i, r := range got.Requests {
+			for _, id := range r {
+				if int(id) >= got.Catalog.Len() {
+					t.Fatalf("request %d references file %d of %d", i, id, got.Catalog.Len())
+				}
+			}
+		}
+	})
+}
+
+// FuzzReadGob ensures arbitrary input never panics the binary reader.
+func FuzzReadGob(f *testing.F) {
+	w := mustSmallWorkload(f)
+	var buf bytes.Buffer
+	if err := WriteGob(&buf, w); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("garbage"))
+	f.Fuzz(func(t *testing.T, input []byte) {
+		got, err := ReadGob(bytes.NewReader(input))
+		if err != nil {
+			return
+		}
+		for i, j := range got.Jobs {
+			if j < 0 || j >= len(got.Requests) {
+				t.Fatalf("job %d references request %d of %d", i, j, len(got.Requests))
+			}
+		}
+	})
+}

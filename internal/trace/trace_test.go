@@ -1,0 +1,142 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"fbcache/internal/workload"
+)
+
+func genSmall(t *testing.T) *workload.Workload {
+	t.Helper()
+	spec := workload.DefaultSpec()
+	spec.NumFiles = 20
+	spec.NumRequests = 10
+	spec.Jobs = 100
+	w, err := workload.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func assertEqualWorkloads(t *testing.T, a, b *workload.Workload) {
+	t.Helper()
+	if a.Spec.CacheSize != b.Spec.CacheSize {
+		t.Errorf("cache size %d vs %d", a.Spec.CacheSize, b.Spec.CacheSize)
+	}
+	if a.Catalog.Len() != b.Catalog.Len() {
+		t.Fatalf("catalog %d vs %d files", a.Catalog.Len(), b.Catalog.Len())
+	}
+	for _, f := range a.Catalog.Files() {
+		if got := b.Catalog.Size(f.ID); got != f.Size {
+			t.Fatalf("file %d size %d vs %d", f.ID, f.Size, got)
+		}
+	}
+	if len(a.Requests) != len(b.Requests) {
+		t.Fatalf("requests %d vs %d", len(a.Requests), len(b.Requests))
+	}
+	for i := range a.Requests {
+		if !a.Requests[i].Equal(b.Requests[i]) {
+			t.Fatalf("request %d differs", i)
+		}
+	}
+	if len(a.Jobs) != len(b.Jobs) {
+		t.Fatalf("jobs %d vs %d", len(a.Jobs), len(b.Jobs))
+	}
+	for i := range a.Jobs {
+		if a.Jobs[i] != b.Jobs[i] {
+			t.Fatalf("job %d differs", i)
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	w := genSmall(t)
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, w); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertEqualWorkloads(t, w, got)
+}
+
+func TestGobRoundTrip(t *testing.T) {
+	w := genSmall(t)
+	var buf bytes.Buffer
+	if err := WriteGob(&buf, w); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadGob(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertEqualWorkloads(t, w, got)
+}
+
+func TestGobSmallerThanJSON(t *testing.T) {
+	w := genSmall(t)
+	var j, g bytes.Buffer
+	if err := WriteJSON(&j, w); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteGob(&g, w); err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() >= j.Len() {
+		t.Errorf("gob %d bytes not smaller than json %d", g.Len(), j.Len())
+	}
+}
+
+func TestReadJSONRejectsBadInput(t *testing.T) {
+	cases := map[string]string{
+		"empty":        "",
+		"garbage":      "not json\n",
+		"bad version":  `{"version":99,"cache_size":10,"file_sizes":[1],"requests":[[0]],"jobs":0}` + "\n",
+		"bad job ref":  `{"version":1,"cache_size":10,"file_sizes":[1],"requests":[[0]],"jobs":1}` + "\n" + `{"r":5}` + "\n",
+		"bad file ref": `{"version":1,"cache_size":10,"file_sizes":[1],"requests":[[7]],"jobs":0}` + "\n",
+		"job mismatch": `{"version":1,"cache_size":10,"file_sizes":[1],"requests":[[0]],"jobs":3}` + "\n" + `{"r":0}` + "\n",
+		"neg size":     `{"version":1,"cache_size":10,"file_sizes":[-1],"requests":[[0]],"jobs":0}` + "\n",
+		"zero cache":   `{"version":1,"cache_size":0,"file_sizes":[1],"requests":[[0]],"jobs":0}` + "\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadJSON(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestReadGobRejectsGarbage(t *testing.T) {
+	if _, err := ReadGob(strings.NewReader("garbage")); err == nil {
+		t.Error("accepted garbage gob")
+	}
+}
+
+func TestJSONIsLineOriented(t *testing.T) {
+	w := genSmall(t)
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, w); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(buf.String(), "\n")
+	if lines != 1+len(w.Jobs) {
+		t.Errorf("%d lines, want %d (header + jobs)", lines, 1+len(w.Jobs))
+	}
+}
+
+// mustSmallWorkload builds a tiny workload for fuzz seeds.
+func mustSmallWorkload(tb testing.TB) *workload.Workload {
+	spec := workload.DefaultSpec()
+	spec.NumFiles = 8
+	spec.NumRequests = 4
+	spec.Jobs = 6
+	w, err := workload.Generate(spec)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return w
+}
