@@ -1,0 +1,36 @@
+# Developer entry points. CI (.github/workflows/ci.yml) runs the same
+# targets; keep the two in sync.
+
+GO ?= go
+
+.PHONY: all build test lint vet fbvet race bench clean
+
+all: build lint test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# lint = the stock vet suite plus fbvet, the repo-specific analyzers
+# (mapiter, floateq, lockcheck, sizeunits). Both must be clean; findings are
+# suppressed only by a justified //fbvet:allow directive.
+lint: vet fbvet
+
+vet:
+	$(GO) vet ./...
+
+fbvet:
+	$(GO) run ./cmd/fbvet ./...
+
+# race runs the full suite under the race detector, including the dedicated
+# concurrency tests in internal/srm and internal/store.
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ ./...
+
+clean:
+	$(GO) clean ./...

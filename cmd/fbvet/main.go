@@ -1,0 +1,68 @@
+// Command fbvet runs the repository's custom static-analysis suite
+// (internal/analyzers) over the packages matching the given patterns:
+//
+//	go run ./cmd/fbvet ./...          # whole repo, all analyzers
+//	go run ./cmd/fbvet -run mapiter,floateq ./internal/core
+//	go run ./cmd/fbvet -list          # describe the suite
+//
+// fbvet exits 0 when no diagnostics are reported, 1 when findings exist,
+// and 2 on load or usage errors. Findings can be suppressed — with a
+// justification — by a `//fbvet:allow <analyzer>` comment on or directly
+// above the flagged line.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fbcache/internal/analyzers"
+)
+
+func main() {
+	var (
+		runList  = flag.String("run", "", "comma-separated analyzers to run (default: all)")
+		describe = flag.Bool("list", false, "list available analyzers and exit")
+	)
+	flag.Parse()
+
+	if *describe {
+		for _, a := range analyzers.All() {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	suite := analyzers.All()
+	if *runList != "" {
+		var err error
+		suite, err = analyzers.ByName(*runList)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fbvet: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	pkgs, err := analyzers.Load(".", patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		os.Exit(2)
+	}
+
+	found := 0
+	for _, pkg := range pkgs {
+		for _, d := range analyzers.Run(pkg, suite) {
+			fmt.Println(d)
+			found++
+		}
+	}
+	if found > 0 {
+		fmt.Fprintf(os.Stderr, "fbvet: %d finding(s) in %d package(s)\n", found, len(pkgs))
+		os.Exit(1)
+	}
+}

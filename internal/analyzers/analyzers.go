@@ -1,0 +1,206 @@
+// Package analyzers implements fbvet, a repo-specific static-analysis suite
+// guarding the invariants the simulator's reproducibility depends on:
+//
+//   - mapiter: map iteration must not feed ordered decisions unsorted
+//     (Go randomizes map range order per run).
+//   - floateq: derived float64 values/credits must not be compared with
+//     exact == / != (rounding noise would decide ties).
+//   - lockcheck: exported methods of mutex-bearing structs must acquire the
+//     lock before touching guarded fields (fields declared after the mutex).
+//   - sizeunits: 64-bit byte counters must not be narrowed or computed in
+//     platform-width int arithmetic.
+//
+// The suite runs over packages type-checked with the standard library's
+// go/parser + go/types (loaded via `go list -export`, see load.go), so it
+// needs no dependencies outside the Go toolchain. cmd/fbvet is the driver.
+//
+// A diagnostic can be suppressed by a `//fbvet:allow <analyzer>` comment on
+// the flagged line or the line directly above it; use sparingly and state
+// why in the same comment.
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and //fbvet:allow
+	// directives.
+	Name string
+	// Doc is a one-paragraph description.
+	Doc string
+	// Run inspects one package and reports findings through the pass.
+	Run func(*Pass)
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	report func(Diagnostic)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of e, or nil if unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if t, ok := p.TypesInfo.Types[e]; ok {
+		return t.Type
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := p.TypesInfo.ObjectOf(id); obj != nil {
+			return obj.Type()
+		}
+	}
+	return nil
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// All returns the full fbvet suite.
+func All() []*Analyzer {
+	return []*Analyzer{MapIter, FloatEq, LockCheck, SizeUnits}
+}
+
+// ByName resolves a comma-separated analyzer list ("mapiter,floateq").
+func ByName(names string) ([]*Analyzer, error) {
+	var out []*Analyzer
+	for _, name := range strings.Split(names, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		found := false
+		for _, a := range All() {
+			if a.Name == name {
+				out = append(out, a)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("unknown analyzer %q", name)
+		}
+	}
+	return out, nil
+}
+
+// Run applies the analyzers to one loaded package and returns the surviving
+// diagnostics sorted by position, with //fbvet:allow suppressions applied.
+func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	allowed := collectAllows(pkg.Fset, pkg.Files)
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+			report: func(d Diagnostic) {
+				if allowed[allowKey{d.Pos.Filename, d.Pos.Line, d.Analyzer}] {
+					return
+				}
+				diags = append(diags, d)
+			},
+		}
+		a.Run(pass)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return diags
+}
+
+type allowKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// collectAllows indexes //fbvet:allow directives. A directive suppresses the
+// named analyzers on its own line and on the following line (so it can sit
+// above the flagged statement).
+func collectAllows(fset *token.FileSet, files []*ast.File) map[allowKey]bool {
+	out := make(map[allowKey]bool)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				idx := strings.Index(c.Text, "fbvet:allow")
+				if idx < 0 {
+					continue
+				}
+				rest := c.Text[idx+len("fbvet:allow"):]
+				// Take words up to a comment-style separator; "--" or "—"
+				// introduce the justification.
+				if cut := strings.IndexAny(rest, "—"); cut >= 0 {
+					rest = rest[:cut]
+				}
+				if cut := strings.Index(rest, "--"); cut >= 0 {
+					rest = rest[:cut]
+				}
+				pos := fset.Position(c.Pos())
+				for _, name := range strings.FieldsFunc(rest, func(r rune) bool {
+					return r == ',' || r == ' ' || r == '\t'
+				}) {
+					out[allowKey{pos.Filename, pos.Line, name}] = true
+					out[allowKey{pos.Filename, pos.Line + 1, name}] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+// isFloat reports whether t's underlying type is a floating-point basic.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// exportedName reports whether name is exported.
+func exportedName(name string) bool {
+	return name != "" && name[0] >= 'A' && name[0] <= 'Z'
+}

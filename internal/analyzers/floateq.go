@@ -1,0 +1,54 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatEq flags exact equality on floating-point values: == and != between
+// float operands, and switch statements dispatching on a float tag. The
+// values this repository compares — request values v(r), relative values
+// v'(r) = v/Σs'(f), Landlord credits — are quotients and decayed sums, so
+// two mathematically equal quantities routinely differ in the last ulps and
+// exact comparison turns rounding noise into divergent eviction decisions.
+// Use floats.AlmostEqual / floats.AlmostZero (internal/floats) instead.
+//
+// The x != x NaN idiom is exempt; prefer math.IsNaN for readability.
+var FloatEq = &Analyzer{
+	Name: "floateq",
+	Doc: "flag ==, != and switch on float64 expressions; " +
+		"rounding noise must not decide ties — use internal/floats helpers",
+	Run: runFloatEq,
+}
+
+func runFloatEq(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.BinaryExpr:
+				if e.Op != token.EQL && e.Op != token.NEQ {
+					return true
+				}
+				if !isFloat(pass.TypeOf(e.X)) && !isFloat(pass.TypeOf(e.Y)) {
+					return true
+				}
+				if types.ExprString(e.X) == types.ExprString(e.Y) {
+					return true // x != x: the NaN self-test idiom
+				}
+				pass.Reportf(e.OpPos,
+					"exact %s comparison of floating-point values %s and %s; "+
+						"use floats.AlmostEqual or floats.AlmostZero so round-off cannot decide ties",
+					e.Op, types.ExprString(e.X), types.ExprString(e.Y))
+			case *ast.SwitchStmt:
+				if e.Tag != nil && isFloat(pass.TypeOf(e.Tag)) {
+					pass.Reportf(e.Switch,
+						"switch on floating-point value %s compares cases exactly; "+
+							"use if/else with floats.AlmostEqual",
+						types.ExprString(e.Tag))
+				}
+			}
+			return true
+		})
+	}
+}

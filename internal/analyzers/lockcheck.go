@@ -1,0 +1,200 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// LockCheck enforces the repository's lock-layout convention on structs that
+// carry a sync.Mutex or sync.RWMutex: the mutex guards every field declared
+// after it (fields above the mutex are immutable after construction), and
+// every exported method that touches a guarded field through the receiver
+// must acquire that mutex somewhere in its body.
+//
+// Unexported methods are exempt — they are conventionally called with the
+// lock already held — as are methods whose name ends in "Locked".
+var LockCheck = &Analyzer{
+	Name: "lockcheck",
+	Doc: "flag exported methods of mutex-bearing structs that access fields " +
+		"declared after the mutex without acquiring it",
+	Run: runLockCheck,
+}
+
+type lockedStruct struct {
+	typeName   string
+	mutexField *types.Var // nil when the mutex is embedded
+	mutexName  string     // field name used in diagnostics ("mu")
+	embedded   bool
+	guarded    map[*types.Var]bool
+}
+
+func runLockCheck(pass *Pass) {
+	locked := lockedStructs(pass.Pkg)
+	if len(locked) == 0 {
+		return
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Recv == nil || fn.Body == nil {
+				continue
+			}
+			if !exportedName(fn.Name.Name) || strings.HasSuffix(fn.Name.Name, "Locked") {
+				continue
+			}
+			checkLockedMethod(pass, locked, fn)
+		}
+	}
+}
+
+// lockedStructs finds every named struct type in pkg with a sync mutex field
+// and records which fields it guards (those declared after it).
+func lockedStructs(pkg *types.Package) map[*types.Named]*lockedStruct {
+	out := make(map[*types.Named]*lockedStruct)
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		mutexIdx := -1
+		for i := 0; i < st.NumFields(); i++ {
+			if isSyncMutex(st.Field(i).Type()) {
+				mutexIdx = i
+				break
+			}
+		}
+		if mutexIdx < 0 {
+			continue
+		}
+		ls := &lockedStruct{
+			typeName:   tn.Name(),
+			mutexField: st.Field(mutexIdx),
+			mutexName:  st.Field(mutexIdx).Name(),
+			embedded:   st.Field(mutexIdx).Embedded(),
+			guarded:    make(map[*types.Var]bool),
+		}
+		for i := mutexIdx + 1; i < st.NumFields(); i++ {
+			ls.guarded[st.Field(i)] = true
+		}
+		if len(ls.guarded) > 0 {
+			out[named] = ls
+		}
+	}
+	return out
+}
+
+func checkLockedMethod(pass *Pass, locked map[*types.Named]*lockedStruct, fn *ast.FuncDecl) {
+	if len(fn.Recv.List) == 0 || len(fn.Recv.List[0].Names) == 0 {
+		return // unnamed receiver cannot touch fields
+	}
+	recvIdent := fn.Recv.List[0].Names[0]
+	recvVar, ok := pass.TypesInfo.Defs[recvIdent].(*types.Var)
+	if !ok {
+		return
+	}
+	recvType := recvVar.Type()
+	if ptr, isPtr := recvType.(*types.Pointer); isPtr {
+		recvType = ptr.Elem()
+	} else {
+		return // value receivers copy the mutex; `go vet -copylocks` owns that
+	}
+	named, ok := recvType.(*types.Named)
+	if !ok {
+		return
+	}
+	ls, ok := locked[named]
+	if !ok {
+		return
+	}
+
+	var firstAccess *ast.SelectorExpr
+	var firstField *types.Var
+	acquires := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.CallExpr:
+			if isLockAcquire(pass, e, recvVar, ls) {
+				acquires = true
+			}
+		case *ast.SelectorExpr:
+			id, isIdent := e.X.(*ast.Ident)
+			if !isIdent || pass.TypesInfo.ObjectOf(id) != recvVar {
+				return true
+			}
+			sel, known := pass.TypesInfo.Selections[e]
+			if !known || sel.Kind() != types.FieldVal {
+				return true
+			}
+			f, isVar := sel.Obj().(*types.Var)
+			if !isVar || !ls.guarded[f] {
+				return true
+			}
+			if firstAccess == nil || e.Pos() < firstAccess.Pos() {
+				firstAccess, firstField = e, f
+			}
+		}
+		return true
+	})
+	if firstAccess != nil && !acquires {
+		pass.Reportf(fn.Name.Pos(),
+			"exported method (*%s).%s accesses %q, which is guarded by %q, without acquiring the lock; "+
+				"call %s.%s.Lock() (or rename the method with a Locked suffix if callers hold it)",
+			ls.typeName, fn.Name.Name, firstField.Name(), ls.mutexName,
+			recvIdent.Name, ls.mutexName)
+	}
+}
+
+// isLockAcquire reports whether call acquires the struct's mutex through the
+// receiver: recv.mu.Lock(), recv.mu.RLock(), or recv.Lock() when the mutex
+// is embedded. TryLock variants count — the analyzer checks discipline, not
+// whether the acquisition is unconditional.
+func isLockAcquire(pass *Pass, call *ast.CallExpr, recvVar *types.Var, ls *lockedStruct) bool {
+	fun, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	switch fun.Sel.Name {
+	case "Lock", "RLock", "TryLock", "TryRLock":
+	default:
+		return false
+	}
+	switch x := fun.X.(type) {
+	case *ast.SelectorExpr: // recv.mu.Lock()
+		id, ok := x.X.(*ast.Ident)
+		if !ok || pass.TypesInfo.ObjectOf(id) != recvVar {
+			return false
+		}
+		sel, ok := pass.TypesInfo.Selections[x]
+		return ok && sel.Obj() == ls.mutexField
+	case *ast.Ident: // recv.Lock() via embedded mutex
+		return ls.embedded && pass.TypesInfo.ObjectOf(x) == recvVar
+	}
+	return false
+}
+
+// isSyncMutex reports whether t is sync.Mutex, sync.RWMutex, or a pointer to
+// either.
+func isSyncMutex(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}

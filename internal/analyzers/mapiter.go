@@ -1,0 +1,290 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapIter flags `for ... range <map>` loops that accumulate keys or values
+// into a slice which is later used in an ordered way — returned, indexed,
+// sliced, or passed to another function — without an intervening
+// deterministic sort. Go randomizes map iteration order per run, so such
+// slices silently make eviction and selection decisions nondeterministic.
+//
+// A use is considered sanctioned once the slice has been passed to the sort
+// or slices packages (or any callee whose name contains "Sort"). Ranging
+// over the slice locally is not flagged: order-independent reductions
+// (sums, set rebuilds) are the common case and sorting them would be noise.
+var MapIter = &Analyzer{
+	Name: "mapiter",
+	Doc: "flag map-range loops whose accumulated slice feeds ordered decisions " +
+		"(return, call, index) without a deterministic sort in between",
+	Run: runMapIter,
+}
+
+func runMapIter(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkMapIterBody(pass, fn.Body)
+				}
+			case *ast.FuncLit:
+				checkMapIterBody(pass, fn.Body)
+			}
+			return true
+		})
+	}
+}
+
+// checkMapIterBody analyzes one function body. Nested function literals are
+// skipped while locating range statements (they get their own call), but are
+// included when scanning for later uses, since closures observe the outer
+// slice.
+func checkMapIterBody(pass *Pass, body *ast.BlockStmt) {
+	var ranges []*ast.RangeStmt
+	inspectSkippingFuncLits(body, func(n ast.Node) {
+		r, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return
+		}
+		if _, isMap := typeUnderlying[*types.Map](pass, r.X); isMap {
+			ranges = append(ranges, r)
+		}
+	})
+
+	for _, r := range ranges {
+		for v, name := range mapIterAccumulators(pass, r) {
+			firstUse, firstSanction := token.NoPos, token.NoPos
+			walkWithStack(body, func(n ast.Node, stack []ast.Node) {
+				id, ok := n.(*ast.Ident)
+				if !ok || id.Pos() <= r.End() || pass.TypesInfo.Uses[id] != v {
+					return
+				}
+				switch pos, kind := classifySliceUse(pass, id, stack); kind {
+				case sliceUseOrdered:
+					if firstUse == token.NoPos || pos < firstUse {
+						firstUse = pos
+					}
+				case sliceUseSanction:
+					if firstSanction == token.NoPos || pos < firstSanction {
+						firstSanction = pos
+					}
+				}
+			})
+			if firstUse != token.NoPos && (firstSanction == token.NoPos || firstSanction > firstUse) {
+				pass.Reportf(r.Pos(),
+					"range over map %s accumulates into %s, used for ordering at line %d "+
+						"without a deterministic sort; sort the extracted keys first",
+					types.ExprString(r.X), name, pass.Fset.Position(firstUse).Line)
+			}
+		}
+	}
+}
+
+// mapIterAccumulators finds slice variables declared outside r that the loop
+// body appends to, keyed by object with their display name.
+func mapIterAccumulators(pass *Pass, r *ast.RangeStmt) map[*types.Var]string {
+	out := make(map[*types.Var]string)
+	ast.Inspect(r.Body, func(n ast.Node) bool {
+		asg, ok := n.(*ast.AssignStmt)
+		if !ok || len(asg.Lhs) != len(asg.Rhs) {
+			return true
+		}
+		for i := range asg.Lhs {
+			lhs, ok := asg.Lhs[i].(*ast.Ident)
+			if !ok {
+				continue
+			}
+			call, ok := asg.Rhs[i].(*ast.CallExpr)
+			if !ok || !isBuiltinCall(pass, call, "append") || len(call.Args) == 0 {
+				continue
+			}
+			obj, ok := pass.TypesInfo.ObjectOf(lhs).(*types.Var)
+			if !ok || obj == nil {
+				continue
+			}
+			if _, isSlice := obj.Type().Underlying().(*types.Slice); !isSlice {
+				continue
+			}
+			// Only accumulators that outlive the loop matter.
+			if obj.Pos() >= r.Pos() && obj.Pos() <= r.End() {
+				continue
+			}
+			// append's first argument must be the same variable.
+			if base, ok := call.Args[0].(*ast.Ident); ok && pass.TypesInfo.ObjectOf(base) == obj {
+				out[obj] = lhs.Name
+			}
+		}
+		return true
+	})
+	return out
+}
+
+type sliceUseKind int
+
+const (
+	sliceUseNone sliceUseKind = iota
+	sliceUseOrdered
+	sliceUseSanction
+)
+
+// classifySliceUse decides what one occurrence of the accumulator identifier
+// means by climbing its ancestor chain.
+func classifySliceUse(pass *Pass, id *ast.Ident, stack []ast.Node) (token.Pos, sliceUseKind) {
+	child := ast.Node(id)
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch p := stack[i].(type) {
+		case *ast.CallExpr:
+			if child == p.Fun {
+				return token.NoPos, sliceUseNone
+			}
+			if isSanctionedSort(pass, p) {
+				return p.Pos(), sliceUseSanction
+			}
+			if isBuiltinCall(pass, p, "append") {
+				// Appending further to the accumulator is still accumulation;
+				// splicing it into another slice consumes its order.
+				if len(p.Args) > 0 && containsPos(p.Args[0], id.Pos()) {
+					return token.NoPos, sliceUseNone
+				}
+				return id.Pos(), sliceUseOrdered
+			}
+			if isBuiltinCall(pass, p, "len") || isBuiltinCall(pass, p, "cap") ||
+				isBuiltinCall(pass, p, "delete") {
+				return token.NoPos, sliceUseNone
+			}
+			return id.Pos(), sliceUseOrdered
+		case *ast.IndexExpr:
+			if child == p.X {
+				return id.Pos(), sliceUseOrdered
+			}
+			child = p
+		case *ast.SliceExpr:
+			if child == p.X {
+				return id.Pos(), sliceUseOrdered
+			}
+			child = p
+		case *ast.RangeStmt:
+			if child == p.X {
+				return token.NoPos, sliceUseNone // local reduction, see Doc
+			}
+			child = p
+		case *ast.UnaryExpr:
+			if p.Op == token.AND {
+				return id.Pos(), sliceUseOrdered
+			}
+			child = p
+		case *ast.AssignStmt:
+			for _, l := range p.Lhs {
+				if l == child {
+					return token.NoPos, sliceUseNone // plain (re)assignment
+				}
+			}
+			return id.Pos(), sliceUseOrdered // aliased into another variable
+		case *ast.ReturnStmt:
+			return id.Pos(), sliceUseOrdered
+		case *ast.CompositeLit, *ast.KeyValueExpr:
+			return id.Pos(), sliceUseOrdered
+		case ast.Stmt:
+			return token.NoPos, sliceUseNone
+		default:
+			child = p
+		}
+	}
+	return token.NoPos, sliceUseNone
+}
+
+// isSanctionedSort reports whether call establishes a deterministic order:
+// any call into the sort or slices packages, or any callee whose name
+// mentions Sort.
+func isSanctionedSort(pass *Pass, call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		if id, ok := fun.X.(*ast.Ident); ok {
+			if pn, ok := pass.TypesInfo.ObjectOf(id).(*types.PkgName); ok {
+				path := pn.Imported().Path()
+				if path == "sort" || path == "slices" {
+					return true
+				}
+			}
+		}
+		return containsSortName(fun.Sel.Name)
+	case *ast.Ident:
+		return containsSortName(fun.Name)
+	}
+	return false
+}
+
+func containsSortName(name string) bool {
+	for i := 0; i+4 <= len(name); i++ {
+		if c := name[i]; (c == 's' || c == 'S') &&
+			name[i+1] == 'o' && name[i+2] == 'r' && name[i+3] == 't' {
+			return true
+		}
+	}
+	return false
+}
+
+// --- small AST utilities shared by the suite ---
+
+// inspectSkippingFuncLits walks n without descending into nested function
+// literals (other than n itself).
+func inspectSkippingFuncLits(n ast.Node, visit func(ast.Node)) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if m == nil {
+			return false
+		}
+		if _, ok := m.(*ast.FuncLit); ok && m != n {
+			return false
+		}
+		visit(m)
+		return true
+	})
+}
+
+// walkWithStack visits every node of root with its ancestor chain
+// (outermost first, not including the node itself).
+func walkWithStack(root ast.Node, visit func(n ast.Node, stack []ast.Node)) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		visit(n, stack)
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// isBuiltinCall reports whether call invokes the named predeclared builtin.
+func isBuiltinCall(pass *Pass, call *ast.CallExpr, name string) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, isBuiltin := pass.TypesInfo.ObjectOf(id).(*types.Builtin)
+	return isBuiltin
+}
+
+// containsPos reports whether node n's source range covers pos.
+func containsPos(n ast.Node, pos token.Pos) bool {
+	return n.Pos() <= pos && pos <= n.End()
+}
+
+// typeUnderlying returns e's underlying type as T.
+func typeUnderlying[T types.Type](pass *Pass, e ast.Expr) (T, bool) {
+	var zero T
+	t := pass.TypeOf(e)
+	if t == nil {
+		return zero, false
+	}
+	u, ok := t.Underlying().(T)
+	if !ok {
+		return zero, false
+	}
+	return u, true
+}

@@ -1,0 +1,126 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// SizeUnits polices byte-size accounting arithmetic. File and cache sizes in
+// this repository are 64-bit (bundle.Size = int64, catalogs go to terabytes),
+// so two conversion shapes are bugs waiting to happen:
+//
+//  1. Narrowing: converting an explicitly 64-bit value (int64, uint64, or a
+//     named type over them such as bundle.Size) to a narrower integer —
+//     including platform int, which is 32 bits on 32-bit targets —
+//     truncates large byte counts silently. Keep size accounting in
+//     int64 / bundle.Size end to end, or bounds-check and annotate.
+//  2. Widening after the fact: int64(a * b) with int operands performs the
+//     multiplication in platform int and widens the already-overflowed
+//     product. Convert the operands first: int64(a) * int64(b).
+//
+// Only explicitly 64-bit sources trigger the narrowing rule: index- and
+// ID-shaped conversions like FileID(i) with an int loop variable are the
+// dominant legitimate narrowing in this codebase and drowning real size
+// truncations in that noise would get the analyzer ignored. Constant
+// conversions are exempt (the compiler range-checks them).
+var SizeUnits = &Analyzer{
+	Name: "sizeunits",
+	Doc: "flag integer conversions that can truncate 64-bit byte counts or " +
+		"widen an int product that may already have overflowed",
+	Run: runSizeUnits,
+}
+
+func runSizeUnits(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[call.Fun]
+			if !ok || !tv.IsType() {
+				return true
+			}
+			arg := call.Args[0]
+			argTV, ok := pass.TypesInfo.Types[arg]
+			if !ok || argTV.Value != nil {
+				return true // constants are range-checked at compile time
+			}
+			dst, okDst := basicInt(tv.Type)
+			src, okSrc := basicInt(argTV.Type)
+			if !okDst || !okSrc {
+				return true
+			}
+
+			if is64(src) && intWidth(dst, false) < 8 {
+				pass.Reportf(call.Pos(),
+					"narrowing conversion %s(%s) from %s may truncate a 64-bit byte count; "+
+						"keep size accounting in int64/bundle.Size or bounds-check first",
+					types.ExprString(call.Fun), types.ExprString(arg), argTV.Type.String())
+				return true
+			}
+			if intWidth(dst, false) == 8 && !is64(src) {
+				if mul := overflowingArith(arg); mul != nil {
+					pass.Reportf(call.Pos(),
+						"%s(%s) widens after the %s: the %s-typed arithmetic can overflow "+
+							"before the conversion; convert the operands first",
+						types.ExprString(call.Fun), types.ExprString(arg),
+						mul.Op, argTV.Type.String())
+				}
+			}
+			return true
+		})
+	}
+}
+
+// basicInt returns t's underlying basic type when it is a (typed) integer.
+func basicInt(t types.Type) (*types.Basic, bool) {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok || b.Info()&types.IsInteger == 0 || b.Info()&types.IsUntyped != 0 {
+		return nil, false
+	}
+	return b, true
+}
+
+// intWidth reports the byte width of b. Platform-dependent kinds (int, uint,
+// uintptr) are scored pessimistically: wide as a source (8, they may hold
+// 64-bit counts) and narrow as a destination (4, they may only fit 32 bits).
+func intWidth(b *types.Basic, asSource bool) int {
+	switch b.Kind() {
+	case types.Int8, types.Uint8:
+		return 1
+	case types.Int16, types.Uint16:
+		return 2
+	case types.Int32, types.Uint32:
+		return 4
+	case types.Int64, types.Uint64:
+		return 8
+	default: // Int, Uint, Uintptr
+		if asSource {
+			return 8
+		}
+		return 4
+	}
+}
+
+func is64(b *types.Basic) bool {
+	return b.Kind() == types.Int64 || b.Kind() == types.Uint64
+}
+
+// overflowingArith reports whether e (modulo parens) is a multiplication or
+// left shift — the arithmetic shapes whose intermediate result outgrows its
+// operands.
+func overflowingArith(e ast.Expr) *ast.BinaryExpr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			break
+		}
+		e = p.X
+	}
+	if b, ok := e.(*ast.BinaryExpr); ok && (b.Op == token.MUL || b.Op == token.SHL) {
+		return b
+	}
+	return nil
+}

@@ -1,0 +1,56 @@
+// Package floateq is golden-test input for the floateq analyzer. The shapes
+// mirror internal/core's relative values and internal/policy/landlord's
+// credits.
+package floateq
+
+type credit = float64
+
+// tieBreak compares greedy ranks exactly — rounding noise decides the tie.
+func tieBreak(v, bestV float64) bool {
+	return v == bestV // want "exact == comparison"
+}
+
+// notEqual is the same hazard with !=.
+func creditsDiffer(a, b credit) bool {
+	return a != b // want "exact != comparison"
+}
+
+// mixed flags even when only one side is float-typed after conversion.
+func zeroCredit(c credit) bool {
+	return c == 0 // want "exact == comparison"
+}
+
+// nanCheck is the x != x idiom: exempt.
+func nanCheck(v float64) bool {
+	return v != v
+}
+
+// ints are not the analyzer's business.
+func intEqual(a, b int) bool {
+	return a == b
+}
+
+// switchTag dispatches on a float value: every case is an exact comparison.
+func switchTag(v float64) string {
+	switch v { // want "switch on floating-point value"
+	case 0:
+		return "zero"
+	case 1:
+		return "one"
+	}
+	return "other"
+}
+
+// switchCond (no tag) is fine; the case expressions are ordinary booleans.
+func switchCond(v float64) string {
+	switch {
+	case v < 0.5:
+		return "low"
+	}
+	return "high"
+}
+
+// allowed demonstrates the //fbvet:allow escape hatch.
+func allowed(a, b float64) bool {
+	return a == b //fbvet:allow floateq — exercising the suppression directive
+}

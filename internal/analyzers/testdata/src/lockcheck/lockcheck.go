@@ -1,0 +1,75 @@
+// Package lockcheck is golden-test input for the lockcheck analyzer. The
+// shapes mirror internal/srm and internal/store: a service struct whose
+// mutex guards the mutable fields declared after it, with immutable
+// configuration above.
+package lockcheck
+
+import "sync"
+
+type Cache struct {
+	capacity int64 // immutable after construction: declared above the mutex
+
+	mu     sync.Mutex
+	used   int64
+	pinned int
+}
+
+// Used reads a guarded field with no lock: the bug class.
+func (c *Cache) Used() int64 { // want "without acquiring the lock"
+	return c.used
+}
+
+// Add locks before touching guarded state: fine.
+func (c *Cache) Add(n int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.used += n
+}
+
+// TryAdd uses TryLock: acquisition discipline is present.
+func (c *Cache) TryAdd(n int64) bool {
+	if !c.mu.TryLock() {
+		return false
+	}
+	defer c.mu.Unlock()
+	c.used += n
+	return true
+}
+
+// Capacity reads an unguarded (pre-mutex, immutable) field: fine.
+func (c *Cache) Capacity() int64 {
+	return c.capacity
+}
+
+// UsedLocked declares that the caller holds the lock: exempt by suffix.
+func (c *Cache) UsedLocked() int64 {
+	return c.used
+}
+
+// snapshot is unexported: conventionally called with the lock held.
+func (c *Cache) snapshot() (int64, int) {
+	return c.used, c.pinned
+}
+
+// Stats goes through a closure; the receiver access is still visible.
+func (c *Cache) Stats() int { // want "without acquiring the lock"
+	get := func() int { return c.pinned }
+	return get()
+}
+
+type Counter struct {
+	sync.Mutex
+	n int
+}
+
+// Inc acquires the embedded mutex through promotion: fine.
+func (c *Counter) Inc() {
+	c.Lock()
+	defer c.Unlock()
+	c.n++
+}
+
+// Get skips the embedded mutex.
+func (c *Counter) Get() int { // want "without acquiring the lock"
+	return c.n
+}

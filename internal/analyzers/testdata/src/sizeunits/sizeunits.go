@@ -1,0 +1,60 @@
+// Package sizeunits is golden-test input for the sizeunits analyzer. Size
+// mirrors bundle.Size: an int64 byte count that must never pass through
+// platform-int arithmetic.
+package sizeunits
+
+type Size int64
+
+type FileID uint32
+
+// truncateToInt narrows a 64-bit byte count to platform int.
+func truncateToInt(s Size) int {
+	return int(s) // want "narrowing conversion"
+}
+
+// truncateTo32 narrows explicitly.
+func truncateTo32(n int64) int32 {
+	return int32(n) // want "narrowing conversion"
+}
+
+// intToInt32 narrows a platform int. Deliberately out of scope: only
+// explicitly 64-bit sources are flagged, so index/ID conversions like
+// FileID(i) stay quiet.
+func intToInt32(n int) int32 {
+	return int32(n)
+}
+
+// lateWiden multiplies in int and widens the overflow-prone product.
+func lateWiden(files, avgBytes int) Size {
+	return Size(files * avgBytes) // want "widens after the *"
+}
+
+// lateShift is the shift-flavored variant.
+func lateShift(megabytes int) int64 {
+	return int64(megabytes << 20) // want "widens after the <<"
+}
+
+// earlyWiden converts the operands first: fine.
+func earlyWiden(files, avgBytes int) Size {
+	return Size(files) * Size(avgBytes)
+}
+
+// plainWiden of a single variable cannot overflow: fine.
+func plainWiden(n int) int64 {
+	return int64(n)
+}
+
+// constants are range-checked by the compiler: fine.
+func constWiden() int64 {
+	return int64(1 << 20)
+}
+
+// small-to-int fits on every platform: fine.
+func idToInt(f FileID) int {
+	return int(f)
+}
+
+// additions widen fine; only products and shifts outgrow their operands.
+func sumWiden(a, b int) int64 {
+	return int64(a + b)
+}

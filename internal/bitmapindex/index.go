@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"fbcache/internal/bundle"
+	"fbcache/internal/floats"
 )
 
 // Attribute is one indexed column: its value range [Lo, Hi) divided into
@@ -182,7 +183,7 @@ func (ix *Index) binsOf(r Range) (*Attribute, int, int, error) {
 	// bin is not touched.
 	if r.Hi > a.Lo && r.Hi < a.Hi {
 		width := (a.Hi - a.Lo) / float64(a.Bins)
-		if r.Hi == a.Lo+float64(hi)*width {
+		if floats.AlmostEqual(r.Hi, a.Lo+float64(hi)*width) {
 			hi--
 		}
 	}

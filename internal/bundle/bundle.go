@@ -211,7 +211,7 @@ func utoa(u uint64) string {
 	i := len(buf)
 	for u > 0 {
 		i--
-		buf[i] = byte('0' + u%10)
+		buf[i] = byte('0' + u%10) //fbvet:allow sizeunits — u%10 < 10 always fits a byte
 		u /= 10
 	}
 	return string(buf[i:])

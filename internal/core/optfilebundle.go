@@ -7,6 +7,7 @@ import (
 
 	"fbcache/internal/bundle"
 	"fbcache/internal/cache"
+	"fbcache/internal/floats"
 	"fbcache/internal/history"
 )
 
@@ -317,7 +318,7 @@ func (p *OptFileBundle) RelativeValue(b bundle.Bundle) float64 {
 		}
 		denom += float64(p.sizeOf(f)) / float64(deg(f))
 	}
-	if denom == 0 {
+	if floats.AlmostZero(denom) {
 		return math.Inf(1)
 	}
 	return value / denom

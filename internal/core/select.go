@@ -20,6 +20,7 @@ import (
 	"sort"
 
 	"fbcache/internal/bundle"
+	"fbcache/internal/floats"
 )
 
 // Candidate is one request offered to the selection algorithm.
@@ -273,7 +274,11 @@ func selectResortReference(cands []Candidate, capacity bundle.Size, opts SelectO
 			if denom > 0 {
 				v = c.Value / denom
 			}
-			if v > bestV || (v == bestV && bestIdx >= 0 && c.Value > cands[bestIdx].Value) {
+			// Tolerant comparison: v is a quotient of sums, so two candidates
+			// with mathematically equal rank can differ in the last ulps.
+			// Exact == here would let rounding noise decide ties.
+			if bestIdx < 0 || floats.Greater(v, bestV) ||
+				(floats.AlmostEqual(v, bestV) && c.Value > cands[bestIdx].Value) {
 				bestIdx, bestV = i, v
 			}
 		}
@@ -321,5 +326,9 @@ func setToBundle(set map[bundle.FileID]bool) bundle.Bundle {
 	for f := range set {
 		out = append(out, f)
 	}
+	// Sort before handing the keys on: map iteration order is randomized, and
+	// downstream consumers (eviction keep-sets, prefetch order) must see the
+	// same sequence on every run.
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return bundle.FromSlice(out)
 }

@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"fbcache/internal/bundle"
+	"fbcache/internal/floats"
 )
 
 // selectResortFast is an incrementally-maintained implementation of the
@@ -105,7 +106,11 @@ func selectResortFast(cands []Candidate, capacity bundle.Size, opts SelectOption
 			if denom[i] > 0 {
 				v = cands[i].Value / denom[i]
 			}
-			if v > bestV || (v == bestV && bestIdx >= 0 && cands[i].Value > cands[bestIdx].Value) {
+			// Mirror selectResortReference's tolerant tie-break exactly: the
+			// incremental denominators here drift from the recomputed ones by
+			// ulps, and only an epsilon comparison keeps the two in lockstep.
+			if bestIdx < 0 || floats.Greater(v, bestV) ||
+				(floats.AlmostEqual(v, bestV) && cands[i].Value > cands[bestIdx].Value) {
 				bestIdx, bestV = i, v
 			}
 		}

@@ -7,6 +7,7 @@ import (
 
 	"fbcache/internal/bundle"
 	"fbcache/internal/core"
+	"fbcache/internal/floats"
 	"fbcache/internal/solver"
 )
 
@@ -31,7 +32,7 @@ func (c Config) BoundStudy() (*Table, error) {
 	for trial := 0; trial < trialsPerBucket*4; trial++ {
 		cands, capacity, sizeOf := randomInstance(rng)
 		opt := solver.SolveExact(cands, capacity, sizeOf)
-		if opt.Value == 0 {
+		if floats.AlmostZero(opt.Value) {
 			continue
 		}
 		d := solver.MaxDegree(cands)

@@ -8,6 +8,7 @@ package experiment
 import (
 	"fmt"
 	"io"
+	"math"
 	"strings"
 )
 
@@ -121,11 +122,11 @@ func (t *Table) CSV(w io.Writer) error {
 }
 
 func formatValue(v float64) string {
-	if v != v { // NaN
+	if math.IsNaN(v) {
 		return "-"
 	}
 	switch {
-	case v == 0:
+	case v == 0: //fbvet:allow floateq — formatting exact zero, not a rank decision
 		return "0"
 	case v >= 1000:
 		return fmt.Sprintf("%.1f", v)

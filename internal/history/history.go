@@ -15,6 +15,7 @@ import (
 	"sort"
 
 	"fbcache/internal/bundle"
+	"fbcache/internal/floats"
 )
 
 // Entry is one distinct request in the history.
@@ -170,7 +171,9 @@ func (h *History) Candidates() []*Entry {
 		sort.Slice(all, func(i, j int) bool { return all[i].LastSeen > all[j].LastSeen })
 	case TopValue:
 		sort.Slice(all, func(i, j int) bool {
-			if all[i].Value != all[j].Value {
+			// Decay multiplies values, so equal popularities can differ by
+			// round-off; epsilon-compare so recency decides genuine ties.
+			if !floats.AlmostEqual(all[i].Value, all[j].Value) {
 				return all[i].Value > all[j].Value
 			}
 			return all[i].LastSeen > all[j].LastSeen

@@ -13,6 +13,7 @@ import (
 
 	"fbcache/internal/bundle"
 	"fbcache/internal/cache"
+	"fbcache/internal/floats"
 	"fbcache/internal/policy"
 )
 
@@ -113,7 +114,7 @@ func (p *Base) victim(b bundle.Bundle) (bundle.FileID, bool) {
 			continue
 		}
 		s := p.sc.score(f)
-		if !found || s < bestScore || (s == bestScore && f < best) {
+		if !found || floats.Less(s, bestScore) || (floats.AlmostEqual(s, bestScore) && f < best) {
 			best, bestScore, found = f, s, true
 		}
 	}

@@ -14,6 +14,7 @@ package landlord
 import (
 	"fbcache/internal/bundle"
 	"fbcache/internal/cache"
+	"fbcache/internal/floats"
 	"fbcache/internal/policy"
 )
 
@@ -27,9 +28,6 @@ type Landlord struct {
 	cost    CostFunc
 	credits map[bundle.FileID]float64
 }
-
-// epsilon guards floating-point slack when testing credits for zero.
-const epsilon = 1e-12
 
 // New returns a Landlord policy with cost(f) = size(f).
 func New(capacity bundle.Size, sizeOf bundle.SizeFunc) *Landlord {
@@ -114,14 +112,17 @@ func (l *Landlord) Admit(b bundle.Bundle) policy.Result {
 				min = c
 			}
 		}
-		if min > 0 {
+		// Credits are decayed by repeated subtraction, so "reached zero" must
+		// be an epsilon test: the minimum-credit file lands within round-off
+		// of zero, not exactly on it.
+		if !floats.AlmostZero(min) {
 			for _, f := range evictable {
 				l.credits[f] -= min
 			}
 		}
 		evicted := false
 		for _, f := range evictable {
-			if l.credits[f] <= epsilon {
+			if floats.AlmostZero(l.credits[f]) {
 				if err := l.cache.Evict(f); err == nil {
 					delete(l.credits, f)
 					res.FilesEvicted++

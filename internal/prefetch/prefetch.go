@@ -15,6 +15,7 @@ import (
 
 	"fbcache/internal/bundle"
 	"fbcache/internal/cache"
+	"fbcache/internal/floats"
 	"fbcache/internal/policy"
 )
 
@@ -56,7 +57,7 @@ func (m *Model) Observe(b bundle.Bundle) {
 
 // Confidence reports P(g requested | f requested) as observed.
 func (m *Model) Confidence(f, g bundle.FileID) float64 {
-	if m.seen[f] == 0 {
+	if floats.AlmostZero(m.seen[f]) {
 		return 0
 	}
 	return m.co[f][g] / m.seen[f]
@@ -80,7 +81,7 @@ func (m *Model) Related(f bundle.FileID, k int, minConfidence float64) []bundle.
 		}
 	}
 	sort.Slice(cands, func(i, j int) bool {
-		if cands[i].conf != cands[j].conf {
+		if !floats.AlmostEqual(cands[i].conf, cands[j].conf) {
 			return cands[i].conf > cands[j].conf
 		}
 		return cands[i].id < cands[j].id

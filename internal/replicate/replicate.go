@@ -15,6 +15,7 @@ import (
 	"sort"
 
 	"fbcache/internal/bundle"
+	"fbcache/internal/floats"
 	"fbcache/internal/grid"
 	"fbcache/internal/history"
 )
@@ -76,7 +77,7 @@ func Plan(hist *history.History, topo *grid.Topology, reps *grid.Replicas, sizeO
 	sort.Slice(candidates, func(i, j int) bool {
 		di := density(candidates[i])
 		dj := density(candidates[j])
-		if di != dj {
+		if !floats.AlmostEqual(di, dj) {
 			return di > dj
 		}
 		return candidates[i].File < candidates[j].File

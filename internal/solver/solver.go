@@ -76,6 +76,7 @@ func SolveExact(cands []core.Candidate, capacity bundle.Size, sizeOf bundle.Size
 			for f := range chosenFiles {
 				files = append(files, f)
 			}
+			sort.Slice(files, func(i, j int) bool { return files[i] < files[j] })
 			best.Files = bundle.FromSlice(files)
 		}
 		if k == len(order) || value+suffixValue[k] <= best.Value {
@@ -118,6 +119,10 @@ type KnapsackItem struct {
 	Weight int64
 }
 
+// maxDPCapacity bounds the Knapsack DP table. The solver is pseudo-polynomial
+// in the capacity; past ~1 GiB of table the exact DP is the wrong tool anyway.
+const maxDPCapacity = 1 << 30
+
 // Knapsack solves 0/1 knapsack exactly by dynamic programming over capacity.
 // It returns the optimal value and the chosen item indices (ascending).
 // Negative-weight items are rejected with a panic; zero-weight items are
@@ -131,7 +136,10 @@ func Knapsack(items []KnapsackItem, capacity int64) (float64, []int) {
 			panic(fmt.Sprintf("solver: item %d has negative weight", i))
 		}
 	}
-	w := int(capacity)
+	if capacity > maxDPCapacity {
+		panic(fmt.Sprintf("solver: knapsack capacity %d exceeds %d; the pseudo-polynomial DP table would not fit", capacity, maxDPCapacity))
+	}
+	w := int(capacity) //fbvet:allow sizeunits — bounds-checked against maxDPCapacity above
 	dp := make([]float64, w+1)
 	take := make([][]bool, len(items))
 	for i, it := range items {
@@ -139,7 +147,7 @@ func Knapsack(items []KnapsackItem, capacity int64) (float64, []int) {
 		if it.Weight > capacity {
 			continue
 		}
-		wt := int(it.Weight)
+		wt := int(it.Weight) //fbvet:allow sizeunits — Weight <= capacity <= maxDPCapacity here
 		for c := w; c >= wt; c-- {
 			if cand := dp[c-wt] + it.Value; cand > dp[c] {
 				dp[c] = cand
@@ -153,7 +161,7 @@ func Knapsack(items []KnapsackItem, capacity int64) (float64, []int) {
 	for i := len(items) - 1; i >= 0; i-- {
 		if take[i][c] {
 			chosen = append(chosen, i)
-			c -= int(items[i].Weight)
+			c -= int(items[i].Weight) //fbvet:allow sizeunits — taken items have Weight <= capacity <= maxDPCapacity
 		}
 	}
 	sort.Ints(chosen)

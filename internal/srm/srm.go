@@ -27,11 +27,14 @@ var ErrClosed = errors.New("srm: closed")
 
 // SRM is a thread-safe staging service over a replacement policy.
 type SRM struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	pol    policy.Policy
+	// Immutable after New: cat is internally synchronized and sizeOf is a
+	// pure function, so neither needs mu. Everything below mu does.
 	cat    *bundle.Catalog
 	sizeOf bundle.SizeFunc
+
+	mu   sync.Mutex
+	cond *sync.Cond
+	pol  policy.Policy
 
 	pinnedBytes bundle.Size
 	active      int

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"fbcache/internal/floats"
 )
 
 // Summary accumulates running statistics of a stream of float64 observations
@@ -143,7 +145,7 @@ func ChiSquare(observed []int64, probs []float64) float64 {
 	var chi2 float64
 	for i, o := range observed {
 		e := probs[i] * float64(n)
-		if e == 0 {
+		if floats.AlmostZero(e) {
 			continue
 		}
 		d := float64(o) - e
