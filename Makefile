@@ -3,7 +3,11 @@
 
 GO ?= go
 
-.PHONY: all build test lint vet fbvet race bench clean
+# Per-target budget for `make fuzz`; raise locally for deeper hunts, e.g.
+#   make fuzz FUZZTIME=5m
+FUZZTIME ?= 30s
+
+.PHONY: all build test test-invariant lint vet fbvet race bench fuzz clean
 
 all: build lint test
 
@@ -13,9 +17,16 @@ build:
 test:
 	$(GO) test ./...
 
+# test-invariant rebuilds with the fbinvariant tag, arming the
+# internal/invariant checks (capacity, atomic admission, Landlord credits,
+# ranking monotonicity) inside every test and fuzz-seed replay.
+test-invariant:
+	$(GO) test -tags fbinvariant ./...
+
 # lint = the stock vet suite plus fbvet, the repo-specific analyzers
-# (mapiter, floateq, lockcheck, sizeunits). Both must be clean; findings are
-# suppressed only by a justified //fbvet:allow directive.
+# (mapiter, floateq, lockcheck, sizeunits, ndtaint, errflow, hotalloc,
+# allowcheck). Both must be clean; findings are suppressed only by a
+# justified //fbvet:allow directive.
 lint: vet fbvet
 
 vet:
@@ -31,6 +42,14 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
+
+# fuzz gives each harness FUZZTIME of coverage-guided search on top of the
+# checked-in corpora (testdata/fuzz/...). The Landlord target runs with
+# invariants armed so every generated input also probes the in-line checks.
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzSelectFastMatchesReference -fuzztime $(FUZZTIME) ./internal/core/
+	$(GO) test -run '^$$' -fuzz FuzzSelectHalfBound -fuzztime $(FUZZTIME) ./internal/solver/
+	$(GO) test -run '^$$' -fuzz FuzzLandlordInvariants -fuzztime $(FUZZTIME) -tags fbinvariant ./internal/policy/landlord/
 
 clean:
 	$(GO) clean ./...

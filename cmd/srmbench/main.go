@@ -80,7 +80,7 @@ func runBench(addr string, w *workload.Workload, clients, jobsPerClient int) (*b
 	}
 	for _, f := range w.Catalog.Files() {
 		if err := setup.AddFile(w.Catalog.Name(f.ID), f.Size); err != nil {
-			setup.Close()
+			_ = setup.Close() // the AddFile error is the one worth returning
 			return nil, err
 		}
 	}
@@ -136,7 +136,7 @@ func runBench(addr string, w *workload.Workload, clients, jobsPerClient int) (*b
 	sum.elapsed = time.Since(start)
 
 	snap, err := setup.Stats()
-	setup.Close()
+	_ = setup.Close() // stats already fetched; nothing depends on the close
 	if err != nil {
 		return nil, err
 	}

@@ -18,6 +18,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"os/signal"
@@ -33,30 +34,40 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run parses args and dispatches to server or client mode. It returns the
+// process exit code. The server path blocks until SIGINT/SIGTERM.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("srmd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		listen   = flag.String("listen", "", "serve on this address (e.g. :7070)")
-		httpAddr = flag.String("http", "", "also serve monitoring stats over HTTP on this address")
-		cacheGB  = flag.Float64("cache-gb", 10, "cache size in GB (server)")
-		connect  = flag.String("connect", "", "act as a client of this server")
-		addfile  = flag.String("addfile", "", "client: register name:sizeBytes")
-		stage    = flag.String("stage", "", "client: stage comma-separated file names")
-		release  = flag.String("release", "", "client: release a stage token")
-		stats    = flag.Bool("stats", false, "client: print server statistics")
+		listen   = fs.String("listen", "", "serve on this address (e.g. :7070)")
+		httpAddr = fs.String("http", "", "also serve monitoring stats over HTTP on this address")
+		cacheGB  = fs.Float64("cache-gb", 10, "cache size in GB (server)")
+		connect  = fs.String("connect", "", "act as a client of this server")
+		addfile  = fs.String("addfile", "", "client: register name:sizeBytes")
+		stage    = fs.String("stage", "", "client: stage comma-separated file names")
+		release  = fs.String("release", "", "client: release a stage token")
+		stats    = fs.Bool("stats", false, "client: print server statistics")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	switch {
 	case *listen != "":
-		runServer(*listen, *httpAddr, *cacheGB)
+		return runServer(*listen, *httpAddr, *cacheGB, stdout, stderr)
 	case *connect != "":
-		runClient(*connect, *addfile, *stage, *release, *stats)
+		return runClient(*connect, *addfile, *stage, *release, *stats, stdout, stderr)
 	default:
-		fmt.Fprintln(os.Stderr, "srmd: need -listen (server) or -connect (client); see -h")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "srmd: need -listen (server) or -connect (client); see -h")
+		return 2
 	}
 }
 
-func runServer(addr, httpAddr string, cacheGB float64) {
+func runServer(addr, httpAddr string, cacheGB float64, stdout, stderr io.Writer) int {
 	cat := bundle.NewCatalog()
 	pol := policy.WrapOptFileBundle(core.New(
 		bundle.Size(cacheGB*float64(bundle.GB)), cat.SizeFunc(),
@@ -65,15 +76,15 @@ func runServer(addr, httpAddr string, cacheGB float64) {
 	service := srm.New(pol, cat)
 	server, err := srm.Serve(service, addr)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "srmd: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "srmd: %v\n", err)
+		return 1
 	}
-	fmt.Printf("srmd: serving OptFileBundle cache (%.1f GB) on %s\n", cacheGB, server.Addr())
+	fmt.Fprintf(stdout, "srmd: serving OptFileBundle cache (%.1f GB) on %s\n", cacheGB, server.Addr())
 	if httpAddr != "" {
 		go func() {
-			fmt.Printf("srmd: monitoring stats on http://%s/stats\n", httpAddr)
+			fmt.Fprintf(stdout, "srmd: monitoring stats on http://%s/stats\n", httpAddr)
 			if err := http.ListenAndServe(httpAddr, srm.StatsHandler(service)); err != nil {
-				fmt.Fprintf(os.Stderr, "srmd: http: %v\n", err)
+				fmt.Fprintf(stderr, "srmd: http: %v\n", err)
 			}
 		}()
 	}
@@ -81,75 +92,81 @@ func runServer(addr, httpAddr string, cacheGB float64) {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	fmt.Println("srmd: shutting down")
+	fmt.Fprintln(stdout, "srmd: shutting down")
 	service.Close()
-	server.Close()
+	if err := server.Close(); err != nil {
+		fmt.Fprintf(stderr, "srmd: close: %v\n", err)
+	}
+	return 0
 }
 
-func runClient(addr, addfile, stage, release string, stats bool) {
+func runClient(addr, addfile, stage, release string, stats bool, stdout, stderr io.Writer) int {
 	c, err := srm.Dial(addr)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "srmd: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "srmd: %v\n", err)
+		return 1
 	}
-	defer c.Close()
+	defer func() {
+		_ = c.Close() // one-shot client; the commands below already reported
+	}()
 
 	did := false
 	if addfile != "" {
 		did = true
 		name, sizeStr, ok := strings.Cut(addfile, ":")
 		if !ok {
-			fmt.Fprintln(os.Stderr, "srmd: -addfile wants name:sizeBytes")
-			os.Exit(2)
+			fmt.Fprintln(stderr, "srmd: -addfile wants name:sizeBytes")
+			return 2
 		}
 		size, err := strconv.ParseInt(sizeStr, 10, 64)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "srmd: bad size %q: %v\n", sizeStr, err)
-			os.Exit(2)
+			fmt.Fprintf(stderr, "srmd: bad size %q: %v\n", sizeStr, err)
+			return 2
 		}
 		if err := c.AddFile(name, bundle.Size(size)); err != nil {
-			fmt.Fprintf(os.Stderr, "srmd: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "srmd: %v\n", err)
+			return 1
 		}
-		fmt.Printf("added %s (%s)\n", name, bundle.Size(size))
+		fmt.Fprintf(stdout, "added %s (%s)\n", name, bundle.Size(size))
 	}
 	if stage != "" {
 		did = true
 		files := strings.Split(stage, ",")
 		token, hit, loaded, err := c.Stage(files...)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "srmd: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "srmd: %v\n", err)
+			return 1
 		}
-		fmt.Printf("staged token=%s hit=%v loaded=%v\n", token, hit, loaded)
-		fmt.Println("note: the lease is dropped when this client exits; long-running jobs should keep the connection open")
+		fmt.Fprintf(stdout, "staged token=%s hit=%v loaded=%v\n", token, hit, loaded)
+		fmt.Fprintln(stdout, "note: the lease is dropped when this client exits; long-running jobs should keep the connection open")
 	}
 	if release != "" {
 		did = true
 		if err := c.Release(release); err != nil {
-			fmt.Fprintf(os.Stderr, "srmd: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "srmd: %v\n", err)
+			return 1
 		}
-		fmt.Printf("released %s\n", release)
+		fmt.Fprintf(stdout, "released %s\n", release)
 	}
 	if stats {
 		did = true
 		st, err := c.Stats()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "srmd: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "srmd: %v\n", err)
+			return 1
 		}
-		fmt.Printf("policy          %s\n", st.Policy)
-		fmt.Printf("jobs            %d\n", st.Jobs)
-		fmt.Printf("hit ratio       %.4f\n", st.HitRatio)
-		fmt.Printf("byte miss ratio %.4f\n", st.ByteMissRatio)
-		fmt.Printf("bytes loaded    %v\n", st.BytesLoaded)
-		fmt.Printf("active jobs     %d\n", st.ActiveJobs)
-		fmt.Printf("pinned          %v\n", st.PinnedBytes)
-		fmt.Printf("cache           %v / %v\n", st.CacheUsed, st.CacheCapacity)
+		fmt.Fprintf(stdout, "policy          %s\n", st.Policy)
+		fmt.Fprintf(stdout, "jobs            %d\n", st.Jobs)
+		fmt.Fprintf(stdout, "hit ratio       %.4f\n", st.HitRatio)
+		fmt.Fprintf(stdout, "byte miss ratio %.4f\n", st.ByteMissRatio)
+		fmt.Fprintf(stdout, "bytes loaded    %v\n", st.BytesLoaded)
+		fmt.Fprintf(stdout, "active jobs     %d\n", st.ActiveJobs)
+		fmt.Fprintf(stdout, "pinned          %v\n", st.PinnedBytes)
+		fmt.Fprintf(stdout, "cache           %v / %v\n", st.CacheUsed, st.CacheCapacity)
 	}
 	if !did {
-		fmt.Fprintln(os.Stderr, "srmd: client mode needs -addfile, -stage, -release or -stats")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "srmd: client mode needs -addfile, -stage, -release or -stats")
+		return 2
 	}
+	return 0
 }

@@ -1,0 +1,105 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"fbcache/internal/bundle"
+	"fbcache/internal/core"
+	"fbcache/internal/history"
+	"fbcache/internal/policy"
+	"fbcache/internal/srm"
+)
+
+// testServer starts a real SRM server on a loopback port and returns its
+// address; shutdown is handled by t.Cleanup.
+func testServer(t *testing.T) string {
+	t.Helper()
+	cat := bundle.NewCatalog()
+	pol := policy.WrapOptFileBundle(core.New(
+		64*bundle.MB, cat.SizeFunc(),
+		core.Options{History: history.Config{Truncation: history.CacheResident}},
+	))
+	service := srm.New(pol, cat)
+	server, err := srm.Serve(service, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		service.Close()
+		_ = server.Close()
+	})
+	return server.Addr()
+}
+
+func TestRunModeAndFlagErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"no mode", nil, 2},
+		{"unknown flag", []string{"-no-such-flag"}, 2},
+		{"client without command", []string{"-connect", "127.0.0.1:1"}, 1}, // dial fails first
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			if code := run(tc.args, &stdout, &stderr); code != tc.want {
+				t.Errorf("run(%v) = %d, want %d (stderr: %s)", tc.args, code, tc.want, stderr.String())
+			}
+		})
+	}
+}
+
+func TestRunClientLifecycle(t *testing.T) {
+	addr := testServer(t)
+
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-connect", addr, "-addfile", "evt-a:1048576"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("addfile: run = %d, stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "added evt-a") {
+		t.Errorf("addfile output: %q", stdout.String())
+	}
+
+	stdout.Reset()
+	if code := run([]string{"-connect", addr, "-stage", "evt-a"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("stage: run = %d, stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "staged token=") {
+		t.Errorf("stage output: %q", stdout.String())
+	}
+
+	stdout.Reset()
+	if code := run([]string{"-connect", addr, "-stats"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("stats: run = %d, stderr: %s", code, stderr.String())
+	}
+	for _, want := range []string{"policy", "jobs", "cache"} {
+		if !strings.Contains(stdout.String(), want) {
+			t.Errorf("stats output missing %q:\n%s", want, stdout.String())
+		}
+	}
+}
+
+func TestRunClientBadInputs(t *testing.T) {
+	addr := testServer(t)
+
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-connect", addr, "-addfile", "missing-colon"}, &stdout, &stderr); code != 2 {
+		t.Errorf("malformed addfile: run = %d, want 2", code)
+	}
+	stderr.Reset()
+	if code := run([]string{"-connect", addr, "-addfile", "f:not-a-number"}, &stdout, &stderr); code != 2 {
+		t.Errorf("bad size: run = %d, want 2", code)
+	}
+	stderr.Reset()
+	if code := run([]string{"-connect", addr, "-stage", "never-registered"}, &stdout, &stderr); code != 1 {
+		t.Errorf("staging unknown file: run = %d, want 1", code)
+	}
+	stderr.Reset()
+	if code := run([]string{"-connect", addr, "-release", "no-such-token"}, &stdout, &stderr); code != 1 {
+		t.Errorf("releasing unknown token: run = %d, want 1", code)
+	}
+}

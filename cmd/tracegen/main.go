@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -20,20 +21,30 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run parses args and generates the trace, writing the trace to -o (or
+// stdout) and the summary line to stderr. It returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		out        = flag.String("o", "", "output path (default stdout)")
-		useGob     = flag.Bool("gob", false, "write compact binary format")
-		cacheGB    = flag.Float64("cache-gb", 4, "reference cache size in GB")
-		files      = flag.Int("files", 300, "file pool size")
-		requests   = flag.Int("requests", 150, "request pool size")
-		jobs       = flag.Int("jobs", 10000, "number of job arrivals")
-		popularity = flag.String("popularity", "uniform", "uniform or zipf")
-		zipfS      = flag.Float64("zipf-s", 1, "Zipf exponent")
-		maxFilePct = flag.Float64("max-file-pct", 0.05, "max file size as a fraction of the cache")
-		bundleMax  = flag.Int("bundle-files", 6, "max files per request")
-		seed       = flag.Int64("seed", 1, "generation seed")
+		out        = fs.String("o", "", "output path (default stdout)")
+		useGob     = fs.Bool("gob", false, "write compact binary format")
+		cacheGB    = fs.Float64("cache-gb", 4, "reference cache size in GB")
+		files      = fs.Int("files", 300, "file pool size")
+		requests   = fs.Int("requests", 150, "request pool size")
+		jobs       = fs.Int("jobs", 10000, "number of job arrivals")
+		popularity = fs.String("popularity", "uniform", "uniform or zipf")
+		zipfS      = fs.Float64("zipf-s", 1, "Zipf exponent")
+		maxFilePct = fs.Float64("max-file-pct", 0.05, "max file size as a fraction of the cache")
+		bundleMax  = fs.Int("bundle-files", 6, "max files per request")
+		seed       = fs.Int64("seed", 1, "generation seed")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	pop := workload.Uniform
 	if strings.EqualFold(*popularity, "zipf") {
@@ -53,18 +64,20 @@ func main() {
 		Jobs:           *jobs,
 	})
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "tracegen: %v\n", err)
+		return 1
 	}
 
-	dst := os.Stdout
+	dst := stdout
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "tracegen: %v\n", err)
+			return 1
 		}
-		defer f.Close()
+		defer func() {
+			_ = f.Close() // write errors surface through write() below
+		}()
 		dst = f
 	}
 	write := trace.WriteJSON
@@ -72,9 +85,10 @@ func main() {
 		write = trace.WriteGob
 	}
 	if err := write(dst, w); err != nil {
-		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "tracegen: %v\n", err)
+		return 1
 	}
-	fmt.Fprintf(os.Stderr, "tracegen: %d files, %d requests, %d jobs (mean request %v, cache ~%.1f requests)\n",
+	fmt.Fprintf(stderr, "tracegen: %d files, %d requests, %d jobs (mean request %v, cache ~%.1f requests)\n",
 		w.Catalog.Len(), len(w.Requests), len(w.Jobs), w.MeanRequestBytes(), w.CacheSizeInRequests())
+	return 0
 }

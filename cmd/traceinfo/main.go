@@ -9,6 +9,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -17,22 +18,34 @@ import (
 )
 
 func main() {
-	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: traceinfo <trace-file>")
-		flag.PrintDefaults()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run parses args, reads the trace named by the single positional argument,
+// and renders its description to stdout. It returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("traceinfo", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: traceinfo <trace-file>")
+		fs.PrintDefaults()
 	}
-	flag.Parse()
-	if flag.NArg() != 1 {
-		flag.Usage()
-		os.Exit(2)
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
-	path := flag.Arg(0)
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return 2
+	}
+	path := fs.Arg(0)
 	f, err := os.Open(path)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "traceinfo: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "traceinfo: %v\n", err)
+		return 1
 	}
-	defer f.Close()
+	defer func() {
+		_ = f.Close() // read-only handle
+	}()
 
 	var w *workload.Workload
 	if strings.HasSuffix(path, ".gob") {
@@ -41,9 +54,10 @@ func main() {
 		w, err = trace.ReadJSON(f)
 	}
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "traceinfo: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "traceinfo: %v\n", err)
+		return 1
 	}
-	fmt.Printf("trace: %s\n\n", path)
-	workload.Describe(w).Render(os.Stdout)
+	fmt.Fprintf(stdout, "trace: %s\n\n", path)
+	workload.Describe(w).Render(stdout)
+	return 0
 }

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fbcache/internal/bundle"
+	"fbcache/internal/trace"
+	"fbcache/internal/workload"
+)
+
+// tinyTrace writes a small generated workload to disk and returns its path.
+func tinyTrace(t *testing.T) string {
+	t.Helper()
+	w, err := workload.Generate(workload.Spec{
+		Seed:           3,
+		CacheSize:      64 * bundle.MB,
+		NumFiles:       6,
+		MinFileSize:    bundle.MB,
+		MaxFilePct:     0.2,
+		NumRequests:    5,
+		MaxBundleFiles: 3,
+		MaxBundleFrac:  0.5,
+		Popularity:     workload.Uniform,
+		Jobs:           20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "tiny.trace.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := trace.WriteJSON(f, w); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunDescribesTrace(t *testing.T) {
+	path := tinyTrace(t)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{path}, &stdout, &stderr); code != 0 {
+		t.Fatalf("run = %d, stderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{"trace: " + path, "files", "jobs"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunUsageAndErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(nil, &stdout, &stderr); code != 2 {
+		t.Errorf("no args: run = %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "usage: traceinfo") {
+		t.Errorf("usage not printed: %q", stderr.String())
+	}
+	stderr.Reset()
+	if code := run([]string{"does-not-exist.trace.json"}, &stdout, &stderr); code != 1 {
+		t.Errorf("missing file: run = %d, want 1", code)
+	}
+	stderr.Reset()
+	if code := run([]string{"-no-such-flag"}, &stdout, &stderr); code != 2 {
+		t.Errorf("bad flag: run = %d, want 2", code)
+	}
+}

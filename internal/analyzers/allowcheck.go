@@ -1,0 +1,65 @@
+package analyzers
+
+import (
+	"strings"
+)
+
+// AllowCheck is fbvet's self-check: every //fbvet:allow directive must carry
+// a justification — a "—" or "--" separator followed by non-empty prose
+// explaining why the finding is acceptable. Unjustified suppressions defeat
+// the audit trail the suite exists to provide.
+//
+// AllowCheck diagnostics cannot themselves be suppressed (Run bypasses the
+// allow table for them); the only fix is writing the justification.
+var AllowCheck = &Analyzer{
+	Name: "allowcheck",
+	Doc: "flag //fbvet:allow directives that lack a justification " +
+		"(\"— why this is safe\" after the analyzer names)",
+	Run: runAllowCheck,
+}
+
+func runAllowCheck(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := directiveTail(c.Text)
+				if !ok {
+					continue
+				}
+				if allowJustification(rest) == "" {
+					pass.Reportf(c.Pos(), "fbvet:allow directive lacks a justification; "+
+						"append \"— <why this finding is safe here>\"")
+				}
+			}
+		}
+	}
+}
+
+// directiveTail returns the text after "fbvet:allow" when the comment IS a
+// directive — the marker leads the comment — as opposed to prose that merely
+// mentions one (doc comments quoting the syntax).
+func directiveTail(comment string) (string, bool) {
+	body := strings.TrimPrefix(strings.TrimPrefix(comment, "//"), "/*")
+	body = strings.TrimLeft(body, " \t")
+	if !strings.HasPrefix(body, "fbvet:allow") {
+		return "", false
+	}
+	return body[len("fbvet:allow"):], true
+}
+
+// allowJustification extracts the justification text of a directive's tail
+// (everything after the analyzer-name list), or "" when absent. The same
+// separators collectAllows recognizes delimit it: an em-dash or "--".
+func allowJustification(rest string) string {
+	cut := -1
+	if i := strings.Index(rest, "—"); i >= 0 {
+		cut = i + len("—")
+	}
+	if i := strings.Index(rest, "--"); i >= 0 && (cut < 0 || i+2 < cut) {
+		cut = i + 2
+	}
+	if cut < 0 || cut > len(rest) {
+		return ""
+	}
+	return strings.TrimSpace(rest[cut:])
+}

@@ -9,10 +9,20 @@
 //     lock before touching guarded fields (fields declared after the mutex).
 //   - sizeunits: 64-bit byte counters must not be narrowed or computed in
 //     platform-width int arithmetic.
+//   - ndtaint: wall-clock reads, global math/rand draws, and map-order-
+//     dependent selections must not flow into simulation state (dataflow.go
+//     is the taint engine; a seeded *rand.Rand from config is sanctioned).
+//   - errflow: error values on simulator and cmd/ paths must not be dropped
+//     by expression statements or overwritten before inspection.
+//   - hotalloc: the OptCacheSelect/OptFileBundle/Landlord inner loops must
+//     not allocate per iteration (closures, make, growing append, boxing).
+//   - allowcheck: every //fbvet:allow directive must carry a justification.
 //
 // The suite runs over packages type-checked with the standard library's
 // go/parser + go/types (loaded via `go list -export`, see load.go), so it
-// needs no dependencies outside the Go toolchain. cmd/fbvet is the driver.
+// needs no dependencies outside the Go toolchain; the flow-sensitive
+// analyzers use the repo's own def-use taint engine (dataflow.go) in place
+// of golang.org/x/tools/go/ssa. cmd/fbvet is the driver.
 //
 // A diagnostic can be suppressed by a `//fbvet:allow <analyzer>` comment on
 // the flagged line or the line directly above it; use sparingly and state
@@ -83,9 +93,11 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
 }
 
-// All returns the full fbvet suite.
+// All returns the full fbvet suite: the per-file AST checks of PR 1 plus the
+// flow-sensitive dataflow analyzers (ndtaint, errflow, hotalloc — see
+// dataflow.go) and the allow-directive self-check.
 func All() []*Analyzer {
-	return []*Analyzer{MapIter, FloatEq, LockCheck, SizeUnits}
+	return []*Analyzer{MapIter, FloatEq, LockCheck, SizeUnits, NDTaint, ErrFlow, HotAlloc, AllowCheck}
 }
 
 // ByName resolves a comma-separated analyzer list ("mapiter,floateq").
@@ -124,7 +136,10 @@ func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 			Pkg:       pkg.Types,
 			TypesInfo: pkg.TypesInfo,
 			report: func(d Diagnostic) {
-				if allowed[allowKey{d.Pos.Filename, d.Pos.Line, d.Analyzer}] {
+				// The self-check cannot be suppressed: an unjustified allow
+				// must not be able to allow itself.
+				if d.Analyzer != AllowCheck.Name &&
+					allowed[allowKey{d.Pos.Filename, d.Pos.Line, d.Analyzer}] {
 					return
 				}
 				diags = append(diags, d)
@@ -159,17 +174,18 @@ type allowKey struct {
 
 // collectAllows indexes //fbvet:allow directives. A directive suppresses the
 // named analyzers on its own line and on the following line (so it can sit
-// above the flagged statement).
+// above the flagged statement). Only directive-form comments count — the
+// marker must lead the comment — so prose that mentions the syntax (like this
+// package's doc) neither suppresses anything nor triggers allowcheck.
 func collectAllows(fset *token.FileSet, files []*ast.File) map[allowKey]bool {
 	out := make(map[allowKey]bool)
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				idx := strings.Index(c.Text, "fbvet:allow")
-				if idx < 0 {
+				rest, ok := directiveTail(c.Text)
+				if !ok {
 					continue
 				}
-				rest := c.Text[idx+len("fbvet:allow"):]
 				// Take words up to a comment-style separator; "--" or "—"
 				// introduce the justification.
 				if cut := strings.IndexAny(rest, "—"); cut >= 0 {

@@ -23,7 +23,9 @@ func loadTestdata(t *testing.T, name string) *Package {
 		t.Fatalf("reading %s: %v", dir, err)
 	}
 
-	fset, imp, err := ExportImporter(".", []string{"sort", "sync"})
+	fset, imp, err := ExportImporter(".", []string{
+		"sort", "sync", "time", "math/rand", "errors", "fmt", "os", "strings",
+	})
 	if err != nil {
 		t.Fatalf("building importer: %v", err)
 	}
@@ -141,10 +143,36 @@ func runGolden(t *testing.T, a *Analyzer) {
 	}
 }
 
-func TestMapIterGolden(t *testing.T)   { runGolden(t, MapIter) }
-func TestFloatEqGolden(t *testing.T)   { runGolden(t, FloatEq) }
-func TestLockCheckGolden(t *testing.T) { runGolden(t, LockCheck) }
-func TestSizeUnitsGolden(t *testing.T) { runGolden(t, SizeUnits) }
+func TestMapIterGolden(t *testing.T)    { runGolden(t, MapIter) }
+func TestFloatEqGolden(t *testing.T)    { runGolden(t, FloatEq) }
+func TestLockCheckGolden(t *testing.T)  { runGolden(t, LockCheck) }
+func TestSizeUnitsGolden(t *testing.T)  { runGolden(t, SizeUnits) }
+func TestNDTaintGolden(t *testing.T)    { runGolden(t, NDTaint) }
+func TestErrFlowGolden(t *testing.T)    { runGolden(t, ErrFlow) }
+func TestHotAllocGolden(t *testing.T)   { runGolden(t, HotAlloc) }
+func TestAllowCheckGolden(t *testing.T) { runGolden(t, AllowCheck) }
+
+// TestAllowCheckUnsuppressable proves an unjustified directive cannot allow
+// itself: the testdata contains `fbvet:allow allowcheck` with a want marker,
+// so if Run ever honored suppressions for the self-check, the golden pass
+// above would fail with a missing diagnostic. This test pins the fixture.
+func TestAllowCheckUnsuppressable(t *testing.T) {
+	pkg := loadTestdata(t, "allowcheck")
+	found := false
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if strings.Contains(c.Text, "fbvet:allow allowcheck") {
+					found = true
+				}
+			}
+		}
+	}
+	if !found {
+		t.Fatal("allowcheck testdata lost its self-allow fixture; the bypass path is untested")
+	}
+	runGolden(t, AllowCheck)
+}
 
 // TestSuppressionDirective proves //fbvet:allow silences exactly the named
 // analyzer on the annotated line: the floateq testdata contains an exact

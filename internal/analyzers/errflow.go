@@ -1,0 +1,196 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ErrFlow enforces error discipline on the simulator and cmd/ paths with a
+// flow-sensitive pass over each function body:
+//
+//  1. dropped errors — an expression statement calling a function whose
+//     (last) result is an error discards it silently;
+//  2. overwritten errors — an error variable is assigned and then reassigned
+//     in the same block before anything inspects it, so the first failure is
+//     lost.
+//
+// Deferred calls (defer f.Close()) and explicit discards (_ = f()) are
+// deliberate idioms and exempt, as is package fmt (whose error returns are
+// conventionally ignored) and the never-failing writers bytes.Buffer and
+// strings.Builder.
+var ErrFlow = &Analyzer{
+	Name: "errflow",
+	Doc: "flag error values dropped by expression statements or overwritten " +
+		"before inspection on simulator and cmd/ paths",
+	Run: runErrFlow,
+}
+
+// errflowScope: every command and the simulation core. Library leaf packages
+// (bundle, floats, stats) are exercised through these paths anyway.
+var errflowScope = append([]string{"cmd/"}, ndtaintScope...)
+
+func runErrFlow(pass *Pass) {
+	if !inAnalyzerScope(pass, errflowScope) {
+		return
+	}
+	funcBodies(pass, func(name string, body *ast.BlockStmt) {
+		checkDroppedErrors(pass, body)
+		checkOverwrittenErrors(pass, body)
+	})
+}
+
+// checkDroppedErrors flags ExprStmt calls whose error result vanishes.
+func checkDroppedErrors(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		es, ok := n.(*ast.ExprStmt)
+		if !ok {
+			return true
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if !callResultsError(pass, call) || errDropExempt(pass, call) {
+			return true
+		}
+		pass.Reportf(es.Pos(), "%s returns an error that is silently discarded; "+
+			"inspect it, or write `_ = ...` to discard it deliberately",
+			types.ExprString(call.Fun))
+		return true
+	})
+}
+
+// errDropExempt lists conventional ignore-the-error callees.
+func errDropExempt(pass *Pass, call *ast.CallExpr) bool {
+	if pkg, _ := calleePackage(pass, call); pkg == "fmt" {
+		return true
+	}
+	// Methods on bytes.Buffer / strings.Builder document err == nil.
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	t := pass.TypeOf(sel.X)
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	switch obj.Pkg().Path() + "." + obj.Name() {
+	case "bytes.Buffer", "strings.Builder":
+		return true
+	}
+	return false
+}
+
+// checkOverwrittenErrors scans every block linearly: an error-typed variable
+// assigned by one statement and reassigned by a later top-level statement of
+// the same block, with no intervening read, lost its first value uninspected.
+// Conditional writes in nested blocks conservatively clear tracking (the
+// overwrite is only a maybe), and any read — including inside nested blocks
+// or closures — clears it too.
+func checkOverwrittenErrors(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		block, ok := n.(*ast.BlockStmt)
+		if !ok {
+			return true
+		}
+		pending := make(map[types.Object]token.Pos)
+		for _, stmt := range block.List {
+			// Reads anywhere in the statement clear pending state. LHS idents
+			// of the statement itself are writes, not reads.
+			writes := topLevelErrWrites(pass, stmt)
+			for obj := range readsOf(pass, stmt, writes) {
+				delete(pending, obj)
+			}
+			// Nested (conditional) writes make the state unknown.
+			for obj := range nestedWrites(pass, stmt) {
+				delete(pending, obj)
+			}
+			for obj, pos := range writes {
+				if prev, ok := pending[obj]; ok {
+					pass.Reportf(pos, "error %q assigned at line %d is overwritten before "+
+						"it is inspected; check or return the first error",
+						obj.Name(), pass.Fset.Position(prev).Line)
+				}
+				pending[obj] = pos
+			}
+		}
+		return true
+	})
+}
+
+// topLevelErrWrites returns the error-typed objects written when stmt itself
+// is a plain assignment (including := redeclarations of existing objects).
+func topLevelErrWrites(pass *Pass, stmt ast.Stmt) map[types.Object]token.Pos {
+	out := make(map[types.Object]token.Pos)
+	asg, ok := stmt.(*ast.AssignStmt)
+	if !ok {
+		return out
+	}
+	for _, l := range asg.Lhs {
+		id, ok := l.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			continue
+		}
+		obj := pass.TypesInfo.ObjectOf(id)
+		if obj == nil || !types.Identical(obj.Type(), errorType) {
+			continue
+		}
+		out[obj] = id.Pos()
+	}
+	return out
+}
+
+// readsOf collects error-typed objects whose value stmt observes: every
+// identifier use except the top-level write targets.
+func readsOf(pass *Pass, stmt ast.Stmt, writes map[types.Object]token.Pos) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil || !types.Identical(obj.Type(), errorType) {
+			return true
+		}
+		if pos, isWrite := writes[obj]; isWrite && pos == id.Pos() {
+			return true
+		}
+		out[obj] = true
+		return true
+	})
+	return out
+}
+
+// nestedWrites collects error-typed objects assigned somewhere inside stmt
+// other than stmt itself (branch arms, loop bodies, closures).
+func nestedWrites(pass *Pass, stmt ast.Stmt) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		asg, ok := n.(*ast.AssignStmt)
+		if !ok || ast.Node(stmt) == n {
+			return true
+		}
+		for _, l := range asg.Lhs {
+			if id, ok := l.(*ast.Ident); ok {
+				if obj := pass.TypesInfo.ObjectOf(id); obj != nil && types.Identical(obj.Type(), errorType) {
+					out[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,264 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// HotAlloc flags per-iteration heap allocations inside the selection and
+// replacement inner loops (internal/core, internal/policy/landlord) — the
+// paths the future sharding/parallelism PRs must keep allocation-free:
+//
+//   - function literals created inside a loop (one closure header per
+//     iteration);
+//   - make(...) and map/slice composite literals inside a loop;
+//   - append in a loop to a slice declared outside it without a capacity
+//     hint (repeated growth reallocations);
+//   - concrete values boxed into interface parameters inside a loop.
+//
+// The analyzer is intentionally scoped: cold paths elsewhere may allocate
+// freely, and a justified //fbvet:allow hotalloc marks the loops whose
+// allocation is the data structure itself (e.g. building an inverted index).
+// Branches under a constant-false condition (`if invariant.Enabled { ... }`
+// without the build tag) are dead code the compiler deletes, so they are
+// skipped entirely.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc: "flag per-iteration allocations (closures, make, growing append, " +
+		"interface boxing) in the OptCacheSelect/OptFileBundle/Landlord inner loops",
+	Run: runHotAlloc,
+}
+
+var hotallocScope = []string{"internal/core", "internal/policy/landlord"}
+
+func runHotAlloc(pass *Pass) {
+	if !inAnalyzerScope(pass, hotallocScope) {
+		return
+	}
+	funcBodies(pass, func(name string, body *ast.BlockStmt) {
+		checkLoops(pass, body, nil)
+	})
+}
+
+// checkLoops walks stmts, tracking the innermost enclosing loop (nil at
+// function top level); allocation sites inside a loop are reported against
+// that loop.
+func checkLoops(pass *Pass, n ast.Node, loop ast.Node) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if m == nil || m == n {
+			return true
+		}
+		switch s := m.(type) {
+		case *ast.IfStmt:
+			if isConstFalse(pass, s.Cond) {
+				// Dead branch (e.g. a disabled invariant.Enabled guard): the
+				// compiler deletes it, so its allocations never run. Only the
+				// else-path stays live.
+				if s.Else != nil {
+					checkLoops(pass, s.Else, loop)
+				}
+				return false
+			}
+		case *ast.ForStmt:
+			checkLoops(pass, s.Body, s)
+			return false
+		case *ast.RangeStmt:
+			checkLoops(pass, s.Body, s)
+			return false
+		case *ast.FuncLit:
+			if loop != nil {
+				pass.Reportf(s.Pos(), "function literal allocated every iteration; hoist the closure out of the loop")
+			}
+			// Keep scanning its body in the current loop context: the closure
+			// runs (at least) once per iteration.
+			checkLoops(pass, s.Body, loop)
+			return false
+		case *ast.CallExpr:
+			if loop == nil {
+				return true
+			}
+			if isBuiltinCall(pass, s, "make") {
+				pass.Reportf(s.Pos(), "make allocates every iteration; hoist it or reuse a cleared buffer")
+				return true
+			}
+			checkBoxing(pass, s, loop)
+		case *ast.CompositeLit:
+			if loop == nil {
+				return true
+			}
+			if t := pass.TypeOf(s); t != nil {
+				switch t.Underlying().(type) {
+				case *types.Map, *types.Slice:
+					pass.Reportf(s.Pos(), "map/slice literal allocates every iteration; hoist it out of the loop")
+				}
+			}
+		case *ast.AssignStmt:
+			if loop == nil {
+				return true
+			}
+			checkGrowingAppend(pass, s, loop)
+		}
+		return true
+	})
+}
+
+// isConstFalse reports whether the type-checker evaluated cond to the
+// constant false (an untagged build-gate like invariant.Enabled).
+func isConstFalse(pass *Pass, cond ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[cond]
+	return ok && tv.Value != nil && tv.Value.String() == "false"
+}
+
+// checkGrowingAppend flags x = append(x, ...) inside a loop when x is a
+// local slice declared outside the loop with no capacity hint, so the loop
+// pays repeated growth reallocations that a make([]T, 0, n) would avoid.
+func checkGrowingAppend(pass *Pass, asg *ast.AssignStmt, loop ast.Node) {
+	if len(asg.Lhs) != len(asg.Rhs) {
+		return
+	}
+	for i := range asg.Lhs {
+		id, ok := asg.Lhs[i].(*ast.Ident)
+		if !ok {
+			continue
+		}
+		call, ok := asg.Rhs[i].(*ast.CallExpr)
+		if !ok || !isBuiltinCall(pass, call, "append") || len(call.Args) == 0 {
+			continue
+		}
+		base, ok := call.Args[0].(*ast.Ident)
+		if !ok || pass.TypesInfo.ObjectOf(base) != pass.TypesInfo.ObjectOf(id) {
+			continue
+		}
+		obj, ok := pass.TypesInfo.ObjectOf(id).(*types.Var)
+		if !ok || obj == nil {
+			continue
+		}
+		// Declared inside the loop: fresh slice per iteration, different issue.
+		if obj.Pos() >= loop.Pos() && obj.Pos() < loop.End() {
+			continue
+		}
+		if declLacksCapacity(pass, obj) {
+			pass.Reportf(asg.Pos(), "append in loop grows %q, declared without a capacity hint; "+
+				"preallocate with make(%s, 0, n)", id.Name, types.TypeString(obj.Type(), types.RelativeTo(pass.Pkg)))
+		}
+	}
+}
+
+// declLacksCapacity locates obj's declaration in the package AST and reports
+// whether it pins no capacity: `var x []T`, `x := []T{}`, x := []T(nil), or
+// `x := make([]T, 0)`. Parameters, fields, and declarations it cannot find
+// are assumed intentional.
+func declLacksCapacity(pass *Pass, obj *types.Var) bool {
+	for _, file := range pass.Files {
+		if file.Pos() > obj.Pos() || obj.Pos() > file.End() {
+			continue
+		}
+		lacks := false
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch d := n.(type) {
+			case *ast.ValueSpec:
+				for i, name := range d.Names {
+					if name.Pos() != obj.Pos() {
+						continue
+					}
+					if len(d.Values) == 0 {
+						lacks = true // var x []T
+					} else if i < len(d.Values) {
+						lacks = initLacksCapacity(pass, d.Values[i])
+					}
+					return false
+				}
+			case *ast.AssignStmt:
+				if len(d.Lhs) != len(d.Rhs) {
+					return true
+				}
+				for i, l := range d.Lhs {
+					id, ok := l.(*ast.Ident)
+					if !ok || id.Pos() != obj.Pos() {
+						continue
+					}
+					lacks = initLacksCapacity(pass, d.Rhs[i])
+					return false
+				}
+			}
+			return true
+		})
+		return lacks
+	}
+	return false
+}
+
+// initLacksCapacity classifies a slice initializer expression.
+func initLacksCapacity(pass *Pass, e ast.Expr) bool {
+	switch v := e.(type) {
+	case *ast.CompositeLit:
+		return len(v.Elts) == 0 // []T{} — empty, no capacity
+	case *ast.CallExpr:
+		if isBuiltinCall(pass, v, "make") {
+			if len(v.Args) >= 3 {
+				return false // make([]T, n, c)
+			}
+			if len(v.Args) == 2 {
+				// make([]T, n): sized is fine; make([]T, 0) is not.
+				if tv, ok := pass.TypesInfo.Types[v.Args[1]]; ok && tv.Value != nil {
+					return tv.Value.String() == "0"
+				}
+				return false
+			}
+		}
+		// Conversion []T(nil) and the like.
+		if tv, ok := pass.TypesInfo.Types[v.Fun]; ok && tv.IsType() && len(v.Args) == 1 {
+			if tvArg, ok := pass.TypesInfo.Types[v.Args[0]]; ok && tvArg.IsNil() {
+				return true
+			}
+		}
+	case *ast.Ident:
+		if tv, ok := pass.TypesInfo.Types[v]; ok && tv.IsNil() {
+			return true // x := Bundle(nil) spelled via ident nil
+		}
+	}
+	return false
+}
+
+// checkBoxing flags concrete values passed to interface parameters inside a
+// loop — each such argument escapes to an interface header allocation.
+// panic() arguments are exempt (cold path by definition).
+func checkBoxing(pass *Pass, call *ast.CallExpr, loop ast.Node) {
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if _, isBuiltin := pass.TypesInfo.ObjectOf(id).(*types.Builtin); isBuiltin {
+			return
+		}
+	}
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		return // conversion, not a call
+	}
+	sig, ok := pass.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		var param types.Type
+		switch {
+		case sig.Variadic() && i >= sig.Params().Len()-1:
+			last := sig.Params().At(sig.Params().Len() - 1).Type()
+			if sl, ok := last.(*types.Slice); ok {
+				param = sl.Elem()
+			}
+		case i < sig.Params().Len():
+			param = sig.Params().At(i).Type()
+		}
+		if param == nil || !types.IsInterface(param) {
+			continue
+		}
+		argType := pass.TypeOf(arg)
+		if argType == nil || types.IsInterface(argType) {
+			continue
+		}
+		if tv, ok := pass.TypesInfo.Types[arg]; ok && tv.IsNil() {
+			continue
+		}
+		pass.Reportf(arg.Pos(), "%s is boxed into interface parameter of %s every iteration; "+
+			"use a concrete-typed helper on the hot path",
+			types.ExprString(arg), types.ExprString(call.Fun))
+	}
+}

@@ -1,0 +1,33 @@
+// Package allowcheck is golden-test input for fbvet's self-check: allow
+// directives must justify themselves.
+package allowcheck
+
+// Justified directives — em-dash and double-dash forms — are fine.
+func Justified() {
+	x := 1.0
+	y := 1.0
+	if x == y { //fbvet:allow floateq — comparing freshly assigned constants, no arithmetic involved
+		_ = x
+	}
+	if x == y { //fbvet:allow floateq -- same as above, ASCII separator
+		_ = y
+	}
+}
+
+// Unjustified directives are flagged wherever they appear. (The directive is
+// a block comment so the want marker can share its line.)
+func Unjustified() {
+	x := 1.0
+	y := 1.0
+	if x == y { /*fbvet:allow floateq */ // want "lacks a justification"
+		_ = x
+	}
+}
+
+/*fbvet:allow mapiter */   // want "lacks a justification"
+func StandaloneDirective() {}
+
+// An unjustified allow naming allowcheck itself must still be flagged: the
+// self-check bypasses the suppression table, or it could silence itself.
+/*fbvet:allow allowcheck */ // want "lacks a justification"
+func SelfAllow()            {}

@@ -1,0 +1,81 @@
+// Package errflow is golden-test input for the errflow analyzer: errors on
+// simulator/cmd paths must be inspected, not dropped or overwritten.
+package errflow
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func work() error             { return errors.New("boom") }
+func workValue() (int, error) { return 0, errors.New("boom") }
+
+// Dropped discards an error via an expression statement.
+func Dropped() {
+	work() // want "silently discarded"
+}
+
+// DroppedMethod drops a file-close error outside a defer.
+func DroppedMethod(f *os.File) {
+	f.Close() // want "silently discarded"
+}
+
+// DeferredCloseIsIdiom — deferred drops are deliberate, no diagnostic.
+func DeferredCloseIsIdiom(f *os.File) {
+	defer f.Close()
+}
+
+// ExplicitDiscard is deliberate, no diagnostic.
+func ExplicitDiscard() {
+	_ = work()
+}
+
+// FmtIsExempt — fmt's error returns are conventionally ignored.
+func FmtIsExempt() {
+	fmt.Println("hello")
+	fmt.Fprintf(os.Stderr, "oops\n")
+}
+
+// BuilderIsExempt — strings.Builder documents err == nil.
+func BuilderIsExempt(sb *strings.Builder) {
+	sb.WriteString("x")
+}
+
+// Overwritten loses the first error before anything reads it.
+func Overwritten() error {
+	_, err := workValue()
+	_, err = workValue() // want "overwritten before"
+	return err
+}
+
+// CheckedBetween inspects the first error — no diagnostic.
+func CheckedBetween() error {
+	_, err := workValue()
+	if err != nil {
+		return err
+	}
+	_, err = workValue()
+	return err
+}
+
+// ConditionalOverwriteIsMaybe — the nested write may not execute, so the
+// linear pass must not flag the later assignment.
+func ConditionalOverwriteIsMaybe(flip bool) error {
+	_, err := workValue()
+	if flip {
+		_, err = workValue()
+	}
+	_, err = workValue()
+	return err
+}
+
+// ReadByClosure counts as inspection — no diagnostic.
+func ReadByClosure() error {
+	_, err := workValue()
+	report := func() { fmt.Println(err) }
+	report()
+	_, err = workValue()
+	return err
+}

@@ -1,0 +1,103 @@
+// Package hotalloc is golden-test input for the hotalloc analyzer:
+// per-iteration allocations in hot loops.
+package hotalloc
+
+import "sort"
+
+type item struct {
+	key  int
+	size int64
+}
+
+func observe(v any) {}
+
+// ClosureInLoop allocates a closure header per iteration.
+func ClosureInLoop(items []item) {
+	for range items {
+		f := func() int { return 1 } // want "function literal allocated every iteration"
+		f()
+	}
+}
+
+// HoistedClosure allocates once — no diagnostic.
+func HoistedClosure(items []item) {
+	f := func() int { return 1 }
+	for range items {
+		f()
+	}
+}
+
+// MakeInLoop allocates a fresh map per iteration.
+func MakeInLoop(items []item) {
+	for range items {
+		seen := make(map[int]bool) // want "make allocates every iteration"
+		seen[1] = true
+	}
+}
+
+// GrowingAppend grows an unsized slice inside the loop.
+func GrowingAppend(items []item) []int {
+	var out []int
+	for _, it := range items {
+		out = append(out, it.key) // want "append in loop grows"
+	}
+	return out
+}
+
+// PreallocatedAppend reserves capacity up front — no diagnostic.
+func PreallocatedAppend(items []item) []int {
+	out := make([]int, 0, len(items))
+	for _, it := range items {
+		out = append(out, it.key)
+	}
+	return out
+}
+
+// FreshPerIteration declares the slice inside the loop — a different
+// pattern, not this analyzer's target.
+func FreshPerIteration(items []item) {
+	for range items {
+		var tmp []int
+		tmp = append(tmp, 1)
+		_ = tmp
+	}
+}
+
+// BoxingInLoop converts a concrete int to an interface per iteration.
+func BoxingInLoop(items []item) {
+	for _, it := range items {
+		observe(it.key) // want "boxed into interface"
+	}
+}
+
+// SliceLitInLoop allocates a slice literal per iteration.
+func SliceLitInLoop(items []item) {
+	for range items {
+		pair := []int{1, 2} // want "literal allocates every iteration"
+		_ = pair
+	}
+}
+
+// SortOutsideLoop is fine: the closure and boxing happen once.
+func SortOutsideLoop(items []item) {
+	sort.Slice(items, func(i, j int) bool { return items[i].key < items[j].key })
+}
+
+// debugChecks stands in for a build-tag-gated constant like
+// invariant.Enabled: false in this (untagged) compilation.
+const debugChecks = false
+
+// DeadBranchIsFree allocates only under a constant-false guard — the
+// compiler deletes the branch, so the analyzer must too. The live else-path
+// is still checked.
+func DeadBranchIsFree(items []item) {
+	for _, it := range items {
+		if debugChecks {
+			observe(it.key)            // dead code: no diagnostic
+			seen := make(map[int]bool) // dead code: no diagnostic
+			seen[it.key] = true
+		} else {
+			observe(it.key) // want "boxed into interface"
+		}
+	}
+}

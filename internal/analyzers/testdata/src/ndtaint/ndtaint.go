@@ -1,0 +1,117 @@
+// Package ndtaint is golden-test input for the ndtaint analyzer: values
+// derived from wall clocks, the global math/rand generator, or randomized
+// map iteration order must not reach simulation state.
+package ndtaint
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Sim stands in for simulation state.
+type Sim struct {
+	Started int64
+	Jitter  float64
+	Order   []int
+}
+
+var globalEpoch int64
+
+// DirectFieldWrite stores a wall-clock read into state.
+func DirectFieldWrite(s *Sim) {
+	s.Started = time.Now().Unix() // want "time.Now()" "field write"
+}
+
+// FlowsThroughLocals launders the clock through locals and arithmetic; the
+// taint engine must follow the chain.
+func FlowsThroughLocals(s *Sim) {
+	t := time.Now()
+	u := t.Add(5 * time.Second)
+	delta := u.Unix() - 3
+	s.Started = delta // want "time.Now()" "field write"
+}
+
+// GlobalRandReturn returns a draw from the shared generator.
+func GlobalRandReturn() float64 {
+	v := rand.Float64()
+	return v * 2 // want "global math/rand.Float64" "return value"
+}
+
+// GlobalRandArg passes global randomness onward.
+func GlobalRandArg(s *Sim) {
+	record(s, rand.Intn(10)) // want "global math/rand.Intn" "call argument"
+}
+
+// GlobalShuffle perturbs the shared generator even though nothing is read.
+func GlobalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "mutates the shared generator"
+}
+
+// SeededIsSanctioned threads a seeded generator — no diagnostics.
+func SeededIsSanctioned(s *Sim, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	s.Jitter = rng.Float64()
+}
+
+// MapFirstKey selects whichever key iteration yields first.
+func MapFirstKey(m map[int]bool) int {
+	for k := range m {
+		return k // want "randomized map iteration order" "return value"
+	}
+	return -1
+}
+
+// MapBreakPick stores the element found when the loop breaks early.
+func MapBreakPick(s *Sim, m map[int]int) {
+	var pick int
+	for _, v := range m {
+		if v > 10 {
+			pick = v
+			break
+		}
+	}
+	s.Started = int64(pick) // want "randomized map iteration order" "field write"
+}
+
+// ExhaustiveReduce visits every element — order-independent, no diagnostic.
+func ExhaustiveReduce(m map[int]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// LocalOnlyClock keeps the clock value local (e.g. for a debug print that
+// never lands in state) — no sink, no diagnostic.
+func LocalOnlyClock() {
+	t := time.Now()
+	_ = t
+}
+
+// PackageVarWrite hits the package-level variable sink.
+func PackageVarWrite() {
+	globalEpoch = time.Now().UnixNano() // want "time.Now()" "package-level variable"
+}
+
+// RacyGoroutine shares a plain counter with its spawner.
+func RacyGoroutine(s *Sim) int {
+	n := 0
+	go func() { // want "without synchronization"
+		n++
+	}()
+	return n
+}
+
+// ChannelGoroutine communicates over a channel — sanctioned.
+func ChannelGoroutine() int {
+	ch := make(chan int, 1)
+	go func() {
+		ch <- 1
+	}()
+	return <-ch
+}
+
+func record(s *Sim, v int) {
+	s.Order = append(s.Order, v)
+}

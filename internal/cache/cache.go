@@ -10,6 +10,7 @@ import (
 	"sort"
 
 	"fbcache/internal/bundle"
+	"fbcache/internal/invariant"
 )
 
 // Cache is a fixed-capacity store of whole files. Not safe for concurrent
@@ -120,6 +121,11 @@ func (c *Cache) Insert(f bundle.FileID, size bundle.Size) error {
 	c.used += size
 	c.bytesLoaded += size
 	c.loads++
+	if invariant.Enabled {
+		invariant.Check(c.used >= 0 && c.used <= c.capacity,
+			"cache: after Insert(%d, %d): used %d outside [0, capacity %d]",
+			f, size, c.used, c.capacity)
+	}
 	return nil
 }
 
@@ -136,6 +142,11 @@ func (c *Cache) Evict(f bundle.FileID) error {
 	c.used -= size
 	c.bytesEvicted += size
 	c.evictions++
+	if invariant.Enabled {
+		invariant.Check(c.used >= 0 && c.used <= c.capacity,
+			"cache: after Evict(%d): used %d outside [0, capacity %d]",
+			f, c.used, c.capacity)
+	}
 	return nil
 }
 
@@ -207,10 +218,13 @@ func (c *Cache) ResetCounters() {
 
 // CheckInvariants verifies internal consistency (used == Σ sizes, pins only on
 // resident files, used ≤ capacity). Tests and the simulator's paranoid mode
-// call this; it returns a descriptive error on the first violation.
+// call this; it returns a descriptive error on the first violation. Both maps
+// are walked in sorted key order so the violation reported — and therefore any
+// test output built from it — does not depend on map iteration order.
 func (c *Cache) CheckInvariants() error {
 	var sum bundle.Size
-	for f, s := range c.resident {
+	for _, f := range c.Resident() {
+		s := c.resident[f]
 		if s < 0 {
 			return fmt.Errorf("cache: file %d has negative size %d", f, s)
 		}
@@ -222,7 +236,13 @@ func (c *Cache) CheckInvariants() error {
 	if c.used > c.capacity {
 		return fmt.Errorf("cache: used %d exceeds capacity %d", c.used, c.capacity)
 	}
-	for f, p := range c.pins {
+	pinned := make([]bundle.FileID, 0, len(c.pins))
+	for f := range c.pins {
+		pinned = append(pinned, f)
+	}
+	sort.Slice(pinned, func(i, j int) bool { return pinned[i] < pinned[j] })
+	for _, f := range pinned {
+		p := c.pins[f]
 		if p < 0 {
 			return fmt.Errorf("cache: file %d has negative pin count %d", f, p)
 		}

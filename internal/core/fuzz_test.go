@@ -1,0 +1,139 @@
+package core
+
+// Metamorphic fuzzing of the two OptCacheSelect "Note"-variant
+// implementations: selectResortFast (incremental, production) must be
+// indistinguishable from selectResortReference (direct transcription of the
+// paper). TestQuickFastMatchesReference samples the same property with a
+// fixed generator; the fuzzer lets the mutation engine hunt for the corners
+// a fixed distribution misses, with every interesting input persisted to
+// testdata/fuzz.
+//
+// Like exactInstance, the decoder only emits instances whose adjusted sizes
+// s(f)/d(f) are exactly representable (small integer sizes, power-of-two
+// degrees), so both implementations make bit-identical ranking decisions and
+// the comparison can demand equality rather than tolerance.
+
+import (
+	"testing"
+
+	"fbcache/internal/bundle"
+)
+
+// byteCursor deals bounded values off the fuzz input; ok=false on exhaustion.
+type byteCursor struct {
+	data []byte
+	pos  int
+}
+
+func (c *byteCursor) next() (byte, bool) {
+	if c.pos >= len(c.data) {
+		return 0, false
+	}
+	b := c.data[c.pos]
+	c.pos++
+	return b, true
+}
+
+// decodeSelectInstance builds an FBC instance from fuzz bytes. ok is false
+// when the input is too short to finish decoding.
+func decodeSelectInstance(data []byte) (cands []Candidate, capacity bundle.Size, opts SelectOptions, seeds []int, ok bool) {
+	cur := &byteCursor{data: data}
+	b := cur.next
+
+	hdr, okh := b()
+	if !okh {
+		return nil, 0, opts, nil, false
+	}
+	nFiles := 1 + int(hdr%10)
+
+	sizes := make([]bundle.Size, nFiles)
+	degrees := make([]int, nFiles)
+	pows := [4]int{1, 2, 4, 8}
+	for i := range sizes {
+		v, okv := b()
+		if !okv {
+			return nil, 0, opts, nil, false
+		}
+		sizes[i] = bundle.Size(1 + v%8)
+		degrees[i] = pows[(v>>3)%4]
+	}
+
+	nb, okn := b()
+	if !okn {
+		return nil, 0, opts, nil, false
+	}
+	n := 1 + int(nb%10)
+	cands = make([]Candidate, 0, n)
+	for i := 0; i < n; i++ {
+		kb, okk := b()
+		if !okk {
+			return nil, 0, opts, nil, false
+		}
+		k := 1 + int(kb%4)
+		ids := make([]bundle.FileID, k)
+		for j := range ids {
+			id, oki := b()
+			if !oki {
+				return nil, 0, opts, nil, false
+			}
+			ids[j] = bundle.FileID(int(id) % nFiles)
+		}
+		vb, okv := b()
+		if !okv {
+			return nil, 0, opts, nil, false
+		}
+		cands = append(cands, Candidate{Bundle: bundle.New(ids...), Value: float64(1 + vb%16)})
+	}
+
+	cb, okc := b()
+	if !okc {
+		return nil, 0, opts, nil, false
+	}
+	capacity = bundle.Size(2 + cb%32)
+
+	var free bundle.Bundle
+	fb, okf := b()
+	if !okf {
+		return nil, 0, opts, nil, false
+	}
+	if fb%2 == 1 {
+		free = bundle.New(bundle.FileID(int(fb>>1) % nFiles))
+	}
+
+	sb, oks := b()
+	if !oks {
+		return nil, 0, opts, nil, false
+	}
+	if sb%3 == 0 {
+		seeds = []int{int(sb>>2) % n}
+	}
+
+	opts = SelectOptions{
+		SizeOf:   func(f bundle.FileID) bundle.Size { return sizes[f] },
+		DegreeOf: func(f bundle.FileID) int { return degrees[f] },
+		Resort:   true,
+		Free:     free,
+	}
+	return cands, capacity, opts, seeds, true
+}
+
+// FuzzSelectFastMatchesReference asserts the central metamorphic property of
+// select_fast.go: for every decodable instance, the incremental greedy and
+// the reference transcription return identical selections.
+func FuzzSelectFastMatchesReference(f *testing.F) {
+	f.Add([]byte("0123456789abcdef0123456789"))
+	f.Add([]byte("\x05\x0a\x1b\x2c\x3d\x4e\x03\x01\x00\x05\x02\x01\x02\x07\x10\x09\x00"))
+	f.Add([]byte("zzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzz"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cands, capacity, opts, seeds, ok := decodeSelectInstance(data)
+		if !ok {
+			t.Skip("input too short to decode")
+		}
+		ref := selectResortReference(cands, capacity, opts, seeds)
+		fast := selectResortFast(cands, capacity, opts, seeds)
+		if !sameSelection(ref, fast) {
+			t.Fatalf("fast/reference divergence:\ncands=%+v cap=%d seeds=%v\nref =%+v\nfast=%+v",
+				cands, capacity, seeds, ref, fast)
+		}
+	})
+}

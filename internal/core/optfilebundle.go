@@ -9,6 +9,7 @@ import (
 	"fbcache/internal/cache"
 	"fbcache/internal/floats"
 	"fbcache/internal/history"
+	"fbcache/internal/invariant"
 )
 
 // Options configures an OptFileBundle policy instance.
@@ -179,6 +180,17 @@ func (p *OptFileBundle) Admit(b bundle.Bundle) Result {
 	}
 	res.Loaded = bundle.FromSlice(res.Loaded)
 
+	if invariant.Enabled {
+		// All-or-nothing admission: a serviceable miss ends with the whole
+		// bundle resident — Algorithm 2 never leaves a partial request behind.
+		invariant.Check(p.cache.Supports(b),
+			"core: Admit left bundle %v partially resident (missing %v)",
+			b, p.cache.Missing(b))
+		invariant.Check(p.cache.Used() <= p.cache.Capacity(),
+			"core: Admit overfilled the cache: used %d > capacity %d",
+			p.cache.Used(), p.cache.Capacity())
+	}
+
 	// Step 4: update L(R) after the replacement decision, as printed.
 	p.hist.Observe(b)
 	p.maybeDecay()
@@ -218,7 +230,7 @@ func (p *OptFileBundle) replace(b bundle.Bundle, needed bundle.Size) {
 	}
 
 	resident := p.cache.Resident()
-	var evictable bundle.Bundle
+	evictable := make(bundle.Bundle, 0, len(resident))
 	for _, f := range resident {
 		if !keep[f] && !p.cache.Pinned(f) {
 			evictable = append(evictable, f)

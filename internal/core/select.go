@@ -21,6 +21,7 @@ import (
 
 	"fbcache/internal/bundle"
 	"fbcache/internal/floats"
+	"fbcache/internal/invariant"
 )
 
 // Candidate is one request offered to the selection algorithm.
@@ -74,10 +75,18 @@ func Select(cands []Candidate, capacity bundle.Size, opts SelectOptions) Selecti
 	if capacity < 0 {
 		capacity = 0
 	}
+	var sel Selection
 	if opts.Resort {
-		return selectResortFast(cands, capacity, opts, nil)
+		sel = selectResortFast(cands, capacity, opts, nil)
+	} else {
+		sel = selectLiteral(cands, capacity, opts)
 	}
-	return selectLiteral(cands, capacity, opts)
+	if invariant.Enabled {
+		invariant.Check(sel.BudgetUsed <= capacity,
+			"core: selection charged %d bytes against capacity %d",
+			sel.BudgetUsed, capacity)
+	}
+	return sel
 }
 
 // SelectSeeded implements the improved-bound variant sketched at the end of
@@ -96,14 +105,19 @@ func SelectSeeded(cands []Candidate, capacity bundle.Size, k int, opts SelectOpt
 			best = sel
 		}
 	}
-	// k = 1 seeds.
+	// k = 1 seeds. selectWithSeeds only reads the seed slice, so one scratch
+	// slice serves every trial instead of allocating per iteration.
+	seed := make([]int, 2)
 	for i := range cands {
-		consider(selectWithSeeds(cands, capacity, opts, []int{i}))
+		seed[0] = i
+		consider(selectWithSeeds(cands, capacity, opts, seed[:1]))
 	}
 	if k >= 2 {
 		for i := range cands {
+			seed[0] = i
 			for j := i + 1; j < len(cands); j++ {
-				consider(selectWithSeeds(cands, capacity, opts, []int{i, j}))
+				seed[1] = j
+				consider(selectWithSeeds(cands, capacity, opts, seed[:2]))
 			}
 		}
 	}
@@ -192,6 +206,15 @@ func selectLiteral(cands []Candidate, capacity bundle.Size, opts SelectOptions) 
 		order = append(order, ranked{idx: i, vrel: vrel, size: size})
 	}
 	sort.SliceStable(order, func(a, b int) bool { return order[a].vrel > order[b].vrel })
+	if invariant.Enabled {
+		// Algorithm 1 scans requests in non-increasing v'(r) order; a break in
+		// monotonicity here means the ranking comparator is wrong.
+		for i := 1; i < len(order); i++ {
+			invariant.Check(order[i-1].vrel >= order[i].vrel,
+				"core: v'(r) ranking not monotone at position %d: %g before %g",
+				i, order[i-1].vrel, order[i].vrel)
+		}
+	}
 
 	var sel Selection
 	files := make(map[bundle.FileID]bool)

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"fbcache/internal/bundle"
+)
+
+// Zero-size files are legal (catalogs can carry placeholder or metadata-only
+// entries) and must not crash or skew the v'(r) = v(r)/Σ s'(f) ranking with a
+// division by zero: an all-zero-size bundle has infinite relative value and
+// costs no budget, so it is always selectable. TestSelectZeroSizeFiles
+// (select_test.go) covers the basic resort case; this table also pins the
+// literal Algorithm 1 path and budget accounting.
+func TestSelectZeroSizeTable(t *testing.T) {
+	sizes := map[bundle.FileID]bundle.Size{1: 0, 2: 0, 3: 4, 4: 6}
+	opts := func(resort bool) SelectOptions {
+		return SelectOptions{
+			SizeOf:   func(f bundle.FileID) bundle.Size { return sizes[f] },
+			DegreeOf: func(bundle.FileID) int { return 1 },
+			Resort:   resort,
+		}
+	}
+
+	cases := []struct {
+		name       string
+		cands      []Candidate
+		capacity   bundle.Size
+		wantChosen int
+		wantValue  float64
+		wantBudget bundle.Size
+	}{
+		{
+			name:       "all zero-size fits in zero capacity",
+			cands:      []Candidate{{Bundle: bundle.New(1, 2), Value: 5}},
+			capacity:   0,
+			wantChosen: 1,
+			wantValue:  5,
+			wantBudget: 0,
+		},
+		{
+			name: "zero-size candidate never displaces budget",
+			cands: []Candidate{
+				{Bundle: bundle.New(1), Value: 1},
+				{Bundle: bundle.New(3), Value: 8},
+			},
+			capacity:   4,
+			wantChosen: 2,
+			wantValue:  9,
+			wantBudget: 4,
+		},
+		{
+			name: "mixed bundle charged only its sized files",
+			cands: []Candidate{
+				{Bundle: bundle.New(2, 3), Value: 6},
+			},
+			capacity:   4,
+			wantChosen: 1,
+			wantValue:  6,
+			wantBudget: 4,
+		},
+		{
+			name: "zero-size zero-capacity beats nothing-fits",
+			cands: []Candidate{
+				{Bundle: bundle.New(4), Value: 100},
+				{Bundle: bundle.New(1), Value: 2},
+			},
+			capacity:   0,
+			wantChosen: 1,
+			wantValue:  2,
+			wantBudget: 0,
+		},
+	}
+
+	for _, tc := range cases {
+		for _, resort := range []bool{false, true} {
+			name := tc.name + "/literal"
+			if resort {
+				name = tc.name + "/resort"
+			}
+			t.Run(name, func(t *testing.T) {
+				sel := Select(tc.cands, tc.capacity, opts(resort))
+				if len(sel.Chosen) != tc.wantChosen || sel.Value != tc.wantValue || sel.BudgetUsed != tc.wantBudget {
+					t.Fatalf("Select = {Chosen:%v Value:%g BudgetUsed:%d}, want %d chosen, value %g, budget %d",
+						sel.Chosen, sel.Value, sel.BudgetUsed, tc.wantChosen, tc.wantValue, tc.wantBudget)
+				}
+			})
+		}
+	}
+}
+
+// RelativeValue on a bundle whose missing files are all zero-size must be
+// +Inf (serve immediately), not NaN.
+func TestRelativeValueZeroSize(t *testing.T) {
+	sizes := map[bundle.FileID]bundle.Size{1: 0, 2: 0}
+	p := New(10, func(f bundle.FileID) bundle.Size { return sizes[f] }, Options{})
+	v := p.RelativeValue(bundle.New(1, 2))
+	if !math.IsInf(v, 1) {
+		t.Fatalf("RelativeValue of all-zero-size bundle = %g, want +Inf", v)
+	}
+	if math.IsNaN(v) {
+		t.Fatal("RelativeValue produced NaN")
+	}
+}

@@ -1,0 +1,8 @@
+//go:build !fbinvariant
+
+package invariant
+
+// Enabled reports whether invariant checks are compiled in. Without the
+// fbinvariant build tag every `if invariant.Enabled` guard is a
+// constant-false branch the compiler removes.
+const Enabled = false

@@ -1,0 +1,7 @@
+//go:build fbinvariant
+
+package invariant
+
+// Enabled reports whether invariant checks are compiled in. This build has
+// the fbinvariant tag: checks are live.
+const Enabled = true

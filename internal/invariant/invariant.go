@@ -1,0 +1,40 @@
+// Package invariant provides build-tag-gated runtime assertions for the
+// paper's machine-checkable properties: capacity is never exceeded, bundle
+// admission is all-or-nothing, Landlord credits never go negative, and the
+// greedy's v'(r) ranking is monotone.
+//
+// The checks compile to nothing in normal builds. Building with
+//
+//	go test -tags fbinvariant ./...
+//
+// turns Enabled into a true constant, and every call site guarded by
+// `if invariant.Enabled { ... }` becomes live; without the tag the guard is a
+// constant-false branch the compiler deletes, so hot paths pay zero cost —
+// not even argument construction.
+//
+// A failed check panics with a Violation, never returns an error: these are
+// programming errors in the simulator itself, not conditions the caller can
+// handle. The fuzz harnesses (internal/solver, internal/core,
+// internal/policy/landlord) run under this tag in CI so every generated
+// input doubles as an invariant probe.
+package invariant
+
+import "fmt"
+
+// Violation is the panic value of a failed check, so tests and fuzzers can
+// tell invariant failures apart from unrelated panics.
+type Violation struct {
+	Msg string
+}
+
+func (v Violation) Error() string { return "invariant violated: " + v.Msg }
+
+// Check panics with a Violation when cond is false. Guard call sites with
+// `if invariant.Enabled` so that disabled builds skip argument evaluation
+// entirely.
+func Check(cond bool, format string, args ...any) {
+	if !Enabled || cond {
+		return
+	}
+	panic(Violation{Msg: fmt.Sprintf(format, args...)})
+}

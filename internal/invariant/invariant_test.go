@@ -1,0 +1,44 @@
+package invariant
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCheckTrueNeverPanics holds under both build modes.
+func TestCheckTrueNeverPanics(t *testing.T) {
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("Check(true) panicked: %v", r)
+		}
+	}()
+	Check(true, "should not fire")
+}
+
+// TestCheckFalse pins the tag contract: with fbinvariant a false condition
+// panics with a Violation carrying the formatted message; without it the
+// call is a no-op. The same test file covers both `go test` and
+// `go test -tags fbinvariant`.
+func TestCheckFalse(t *testing.T) {
+	var got any
+	func() {
+		defer func() { got = recover() }()
+		Check(false, "used %d exceeds capacity %d", 7, 5)
+	}()
+	if !Enabled {
+		if got != nil {
+			t.Fatalf("Check(false) panicked in a disabled build: %v", got)
+		}
+		return
+	}
+	v, ok := got.(Violation)
+	if !ok {
+		t.Fatalf("Check(false) panicked with %T (%v), want Violation", got, got)
+	}
+	if !strings.Contains(v.Error(), "used 7 exceeds capacity 5") {
+		t.Fatalf("Violation message = %q, want the formatted condition", v.Error())
+	}
+	if !strings.HasPrefix(v.Error(), "invariant violated: ") {
+		t.Fatalf("Violation message %q lacks the standard prefix", v.Error())
+	}
+}

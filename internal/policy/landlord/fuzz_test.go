@@ -1,0 +1,93 @@
+package landlord_test
+
+// Invariant fuzzing of the bundle-adapted Landlord policy (Algorithm 3):
+// arbitrary admission sequences must keep the underlying cache structurally
+// consistent and every resident credit non-negative (up to round-off) — the
+// property Landlord's competitive-ratio potential argument rests on. Run
+// with -tags fbinvariant to additionally arm the in-line invariant.Check
+// probes on the decay loop and cache mutations.
+
+import (
+	"testing"
+
+	"fbcache/internal/bundle"
+	"fbcache/internal/floats"
+	"fbcache/internal/policy/landlord"
+)
+
+// FuzzLandlordInvariants decodes a catalog plus a request sequence from the
+// fuzz input and replays it against a fresh Landlord instance.
+func FuzzLandlordInvariants(f *testing.F) {
+	f.Add([]byte("0123456789abcdefghijklmnop"))
+	f.Add([]byte("\x20\x05\x03\x00\x02\x04\x01\x02\x00\x01\x03\x02\x00\x04"))
+	f.Add([]byte("landlord-credit-decay-seed-00000"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pos := 0
+		next := func() (byte, bool) {
+			if pos >= len(data) {
+				return 0, false
+			}
+			b := data[pos]
+			pos++
+			return b, true
+		}
+
+		hdr, ok := next()
+		if !ok {
+			t.Skip("input too short to decode")
+		}
+		capacity := bundle.Size(4 + hdr%60)
+
+		nb, ok := next()
+		if !ok {
+			t.Skip("input too short to decode")
+		}
+		nFiles := 1 + int(nb%12)
+		sizes := make([]bundle.Size, nFiles)
+		for i := range sizes {
+			v, okv := next()
+			if !okv {
+				t.Skip("input too short to decode")
+			}
+			// Zero-size files are legal and exercise the resetCredit guard.
+			sizes[i] = bundle.Size(v % 8)
+		}
+		sizeOf := func(f bundle.FileID) bundle.Size { return sizes[f] }
+
+		l := landlord.New(capacity, sizeOf)
+		for step := 0; ; step++ {
+			kb, okk := next()
+			if !okk {
+				break // request stream exhausted; sequence complete
+			}
+			k := 1 + int(kb%4)
+			ids := make([]bundle.FileID, 0, k)
+			for j := 0; j < k; j++ {
+				id, oki := next()
+				if !oki {
+					break
+				}
+				ids = append(ids, bundle.FileID(int(id)%nFiles))
+			}
+			if len(ids) == 0 {
+				break
+			}
+			b := bundle.New(ids...)
+
+			res := l.Admit(b)
+
+			if err := l.Cache().CheckInvariants(); err != nil {
+				t.Fatalf("step %d: Admit(%v) broke cache invariants: %v", step, b, err)
+			}
+			if res.BytesLoaded > res.BytesRequested {
+				t.Fatalf("step %d: Admit(%v) loaded %d bytes for a %d-byte request",
+					step, b, res.BytesLoaded, res.BytesRequested)
+			}
+			for _, f := range l.Cache().Resident() {
+				if c := l.Credit(f); c < 0 && !floats.AlmostZero(c) {
+					t.Fatalf("step %d: resident file %d has negative credit %g", step, f, c)
+				}
+			}
+		}
+	})
+}

@@ -15,6 +15,7 @@ import (
 	"fbcache/internal/bundle"
 	"fbcache/internal/cache"
 	"fbcache/internal/floats"
+	"fbcache/internal/invariant"
 	"fbcache/internal/policy"
 )
 
@@ -118,6 +119,14 @@ func (l *Landlord) Admit(b bundle.Bundle) policy.Result {
 		if !floats.AlmostZero(min) {
 			for _, f := range evictable {
 				l.credits[f] -= min
+			}
+		}
+		if invariant.Enabled {
+			// Landlord's potential argument needs credit(f) ≥ 0 throughout;
+			// subtracting the minimum can undershoot only by round-off.
+			for _, f := range evictable {
+				invariant.Check(l.credits[f] >= 0 || floats.AlmostZero(l.credits[f]),
+					"landlord: credit of file %d decayed to %g < 0", f, l.credits[f])
 			}
 		}
 		evicted := false

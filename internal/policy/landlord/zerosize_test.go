@@ -1,0 +1,68 @@
+package landlord_test
+
+import (
+	"testing"
+
+	"fbcache/internal/bundle"
+	"fbcache/internal/policy/landlord"
+)
+
+// Zero-size files must not divide by zero in credit(f) = cost(f)/size(f):
+// resetCredit falls back to the raw cost, and admission/eviction keep the
+// cache consistent.
+func TestLandlordZeroSizeFiles(t *testing.T) {
+	sizes := map[bundle.FileID]bundle.Size{1: 0, 2: 0, 3: 4}
+	sizeOf := func(f bundle.FileID) bundle.Size { return sizes[f] }
+
+	cases := []struct {
+		name     string
+		cost     landlord.CostFunc
+		admit    []bundle.Bundle
+		wantHits int
+		// wantCredit pins the credit of file 1 after the sequence.
+		wantCredit float64
+	}{
+		{
+			name:       "default cost leaves zero-size credit at zero",
+			admit:      []bundle.Bundle{bundle.New(1), bundle.New(1)},
+			wantHits:   1,
+			wantCredit: 0, // cost(1) = size(1) = 0; evictable for free, never divides
+		},
+		{
+			name:       "explicit cost keeps zero-size file creditworthy",
+			cost:       func(bundle.FileID) float64 { return 3 },
+			admit:      []bundle.Bundle{bundle.New(1, 2), bundle.New(1, 2)},
+			wantHits:   1,
+			wantCredit: 3, // raw cost, not cost/0
+		},
+		{
+			name:       "mixed bundle with sized files",
+			cost:       nil,
+			admit:      []bundle.Bundle{bundle.New(1, 3), bundle.New(1, 3)},
+			wantHits:   1,
+			wantCredit: 0,
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			l := landlord.NewWithCost(10, sizeOf, tc.cost)
+			hits := 0
+			for _, b := range tc.admit {
+				res := l.Admit(b)
+				if res.Hit {
+					hits++
+				}
+				if err := l.Cache().CheckInvariants(); err != nil {
+					t.Fatalf("Admit(%v) broke invariants: %v", b, err)
+				}
+			}
+			if hits != tc.wantHits {
+				t.Fatalf("hits = %d, want %d", hits, tc.wantHits)
+			}
+			if got := l.Credit(1); got != tc.wantCredit {
+				t.Fatalf("Credit(1) = %g, want %g", got, tc.wantCredit)
+			}
+		})
+	}
+}

@@ -1,0 +1,129 @@
+package solver_test
+
+// Differential fuzzing of Theorem 4.1: on every decodable small instance the
+// OptCacheSelect greedy must achieve at least ½(1 − e^{−1/d}) of the exact
+// branch-and-bound optimum, and the k=2 seeded variant at least (1 − e^{−1/d}).
+// The experiment suite (internal/experiment.BoundStudy) samples the same
+// property over a fixed random distribution; the fuzzer lets coverage-guided
+// mutation look for adversarial instances instead.
+
+import (
+	"math"
+	"testing"
+
+	"fbcache/internal/bundle"
+	"fbcache/internal/core"
+	"fbcache/internal/solver"
+)
+
+// decodeBoundInstance builds a small FBC instance from fuzz bytes, bounded
+// well under solver.MaxExactRequests so SolveExact stays fast. ok is false
+// when the input is too short.
+func decodeBoundInstance(data []byte) (cands []core.Candidate, capacity bundle.Size, sizeOf bundle.SizeFunc, ok bool) {
+	pos := 0
+	next := func() (byte, bool) {
+		if pos >= len(data) {
+			return 0, false
+		}
+		b := data[pos]
+		pos++
+		return b, true
+	}
+
+	hdr, okh := next()
+	if !okh {
+		return nil, 0, nil, false
+	}
+	nFiles := 1 + int(hdr%8)
+
+	sizes := make([]bundle.Size, nFiles)
+	for i := range sizes {
+		v, okv := next()
+		if !okv {
+			return nil, 0, nil, false
+		}
+		sizes[i] = bundle.Size(1 + v%6)
+	}
+
+	nb, okn := next()
+	if !okn {
+		return nil, 0, nil, false
+	}
+	n := 1 + int(nb%10)
+	cands = make([]core.Candidate, 0, n)
+	for i := 0; i < n; i++ {
+		kb, okk := next()
+		if !okk {
+			return nil, 0, nil, false
+		}
+		k := 1 + int(kb%3)
+		ids := make([]bundle.FileID, k)
+		for j := range ids {
+			id, oki := next()
+			if !oki {
+				return nil, 0, nil, false
+			}
+			ids[j] = bundle.FileID(int(id) % nFiles)
+		}
+		vb, okv := next()
+		if !okv {
+			return nil, 0, nil, false
+		}
+		cands = append(cands, core.Candidate{Bundle: bundle.New(ids...), Value: float64(1 + vb%10)})
+	}
+
+	cb, okc := next()
+	if !okc {
+		return nil, 0, nil, false
+	}
+	capacity = bundle.Size(1 + cb%24)
+	return cands, capacity, func(f bundle.FileID) bundle.Size { return sizes[f] }, true
+}
+
+// FuzzSelectHalfBound is the machine-checked form of Theorem 4.1.
+func FuzzSelectHalfBound(f *testing.F) {
+	f.Add([]byte("0123456789abcdefghij"))
+	f.Add([]byte("\x03\x01\x02\x04\x04\x02\x00\x05\x01\x01\x07\x02\x00\x01\x03\x10"))
+	f.Add([]byte("paper-instance-seed-bytes-000000"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cands, capacity, sizeOf, ok := decodeBoundInstance(data)
+		if !ok {
+			t.Skip("input too short to decode")
+		}
+		opt := solver.SolveExact(cands, capacity, sizeOf)
+		if opt.Value <= 0 {
+			return // nothing fits; the bound is vacuous
+		}
+
+		deg := make(map[bundle.FileID]int)
+		for _, c := range cands {
+			for _, f := range c.Bundle {
+				deg[f]++
+			}
+		}
+		opts := core.SelectOptions{
+			SizeOf:   sizeOf,
+			DegreeOf: func(f bundle.FileID) int { return deg[f] },
+			Resort:   true,
+		}
+		d := solver.MaxDegree(cands)
+		if d < 1 {
+			d = 1
+		}
+		const eps = 1e-9
+
+		half := 0.5 * (1 - math.Exp(-1/float64(d)))
+		if got := core.Select(cands, capacity, opts); got.Value < half*opt.Value-eps {
+			t.Fatalf("greedy value %.6f below Theorem 4.1 bound %.6f (d=%d, OPT=%.6f)\ncands=%+v cap=%d",
+				got.Value, half*opt.Value, d, opt.Value, cands, capacity)
+		}
+
+		if len(cands) <= 8 {
+			full := 1 - math.Exp(-1/float64(d))
+			if got := core.SelectSeeded(cands, capacity, 2, opts); got.Value < full*opt.Value-eps {
+				t.Fatalf("seeded-k2 value %.6f below bound %.6f (d=%d, OPT=%.6f)\ncands=%+v cap=%d",
+					got.Value, full*opt.Value, d, opt.Value, cands, capacity)
+			}
+		}
+	})
+}

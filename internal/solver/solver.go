@@ -11,6 +11,7 @@ package solver
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"fbcache/internal/bundle"
@@ -50,7 +51,13 @@ func SolveExact(cands []core.Candidate, capacity bundle.Size, sizeOf bundle.Size
 	density := func(i int) float64 {
 		s := cands[i].Bundle.TotalSize(sizeOf)
 		if s <= 0 {
-			return cands[i].Value * 1e18
+			// A zero-size bundle occupies no capacity: any positive value makes
+			// it infinitely dense, and a worthless one sorts last. Dividing
+			// would yield NaN/±Inf by accident; make the ordering explicit.
+			if cands[i].Value > 0 {
+				return math.Inf(1)
+			}
+			return 0
 		}
 		return cands[i].Value / float64(s)
 	}

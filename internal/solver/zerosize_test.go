@@ -1,0 +1,68 @@
+package solver_test
+
+import (
+	"testing"
+
+	"fbcache/internal/bundle"
+	"fbcache/internal/core"
+	"fbcache/internal/solver"
+)
+
+// SolveExact must handle zero-size files without the old Value*1e18 density
+// hack misordering the search: zero-size positive-value bundles are
+// infinitely dense and always belong to the optimum.
+func TestSolveExactZeroSizeFiles(t *testing.T) {
+	sizes := map[bundle.FileID]bundle.Size{1: 0, 2: 0, 3: 5, 4: 7}
+	sizeOf := func(f bundle.FileID) bundle.Size { return sizes[f] }
+
+	cases := []struct {
+		name      string
+		cands     []core.Candidate
+		capacity  bundle.Size
+		wantValue float64
+	}{
+		{
+			name:      "zero-size fits zero capacity",
+			cands:     []core.Candidate{{Bundle: bundle.New(1), Value: 3}},
+			capacity:  0,
+			wantValue: 3,
+		},
+		{
+			name: "zero-size always joins the optimum",
+			cands: []core.Candidate{
+				{Bundle: bundle.New(1, 2), Value: 2},
+				{Bundle: bundle.New(3), Value: 9},
+				{Bundle: bundle.New(4), Value: 8},
+			},
+			capacity:  5,
+			wantValue: 11, // zero-size pair + file 3; file 4 does not fit
+		},
+		{
+			name: "worthless zero-size does not pollute the answer",
+			cands: []core.Candidate{
+				{Bundle: bundle.New(1), Value: 0},
+				{Bundle: bundle.New(3), Value: 4},
+			},
+			capacity:  5,
+			wantValue: 4,
+		},
+		{
+			name: "mixed bundle charged only sized files",
+			cands: []core.Candidate{
+				{Bundle: bundle.New(2, 3), Value: 6},
+				{Bundle: bundle.New(4), Value: 5},
+			},
+			capacity:  7,
+			wantValue: 6,
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := solver.SolveExact(tc.cands, tc.capacity, sizeOf)
+			if got.Value != tc.wantValue {
+				t.Fatalf("SolveExact value = %g, want %g (chosen %v)", got.Value, tc.wantValue, got.Chosen)
+			}
+		})
+	}
+}

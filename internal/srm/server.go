@@ -73,7 +73,7 @@ func (srv *Server) Close() error {
 	srv.mu.Lock()
 	srv.closed = true
 	for c := range srv.conns {
-		c.Close()
+		_ = c.Close() // per-conn close errors don't outrank the listener's
 	}
 	srv.mu.Unlock()
 	return srv.ln.Close()
@@ -88,7 +88,7 @@ func (srv *Server) acceptLoop() {
 		srv.mu.Lock()
 		if srv.closed {
 			srv.mu.Unlock()
-			conn.Close()
+			_ = conn.Close() // racing with Close; nothing to report the error to
 			return
 		}
 		srv.conns[conn] = true
@@ -102,7 +102,7 @@ func (srv *Server) handle(conn net.Conn) {
 		srv.mu.Lock()
 		delete(srv.conns, conn)
 		srv.mu.Unlock()
-		conn.Close()
+		_ = conn.Close() // handler teardown; the protocol reply already went out
 	}()
 
 	leases := make(map[string]Release)
