@@ -7,7 +7,7 @@ GO ?= go
 #   make fuzz FUZZTIME=5m
 FUZZTIME ?= 30s
 
-.PHONY: all build test test-invariant lint vet fbvet race bench fuzz clean
+.PHONY: all build test test-invariant lint vet fbvet race bench fuzz soak clean
 
 all: build lint test
 
@@ -25,8 +25,8 @@ test-invariant:
 
 # lint = the stock vet suite plus fbvet, the repo-specific analyzers
 # (mapiter, floateq, lockcheck, sizeunits, ndtaint, errflow, hotalloc,
-# allowcheck). Both must be clean; findings are suppressed only by a
-# justified //fbvet:allow directive.
+# retrybound, allowcheck). Both must be clean; findings are suppressed only
+# by a justified //fbvet:allow directive.
 lint: vet fbvet
 
 vet:
@@ -50,6 +50,12 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzSelectFastMatchesReference -fuzztime $(FUZZTIME) ./internal/core/
 	$(GO) test -run '^$$' -fuzz FuzzSelectHalfBound -fuzztime $(FUZZTIME) ./internal/solver/
 	$(GO) test -run '^$$' -fuzz FuzzLandlordInvariants -fuzztime $(FUZZTIME) -tags fbinvariant ./internal/policy/landlord/
+
+# soak replays the fault-injection scenarios with invariants armed: the
+# multi-policy fault soak plus the determinism and zero-scenario bit-identity
+# gates for the resilience layer (internal/faults + the retry/failover paths).
+soak:
+	$(GO) test -tags fbinvariant ./internal/simulate/ -run 'TestFaultSoak|TestFaultsDeterministic|TestFaultsZeroScenarioBitIdentical' -v
 
 clean:
 	$(GO) clean ./...

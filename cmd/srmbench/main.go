@@ -5,6 +5,14 @@
 //
 //	srmd -listen :7070 -cache-gb 4 &
 //	srmbench -addr localhost:7070 -clients 8 -jobs 200
+//
+// With -degraded it instead runs the (serverless) degraded-mode experiment:
+// the timed simulator under rising per-transfer failure rates, tabling hit
+// ratio and mean job slowdown per policy. The table is deterministic for a
+// given -seed:
+//
+//	srmbench -degraded
+//	srmbench -degraded -jobs 500 -seed 7 -csv
 package main
 
 import (
@@ -16,6 +24,7 @@ import (
 	"time"
 
 	"fbcache/internal/bundle"
+	"fbcache/internal/experiment"
 	"fbcache/internal/srm"
 	"fbcache/internal/stats"
 	"fbcache/internal/workload"
@@ -25,14 +34,24 @@ func main() {
 	var (
 		addr       = flag.String("addr", "localhost:7070", "srmd server address")
 		clients    = flag.Int("clients", 4, "concurrent client connections")
-		jobs       = flag.Int("jobs", 100, "stage/release operations per client")
+		jobs       = flag.Int("jobs", 100, "stage/release operations per client (per simulation point with -degraded)")
 		files      = flag.Int("files", 200, "file pool size")
 		requests   = flag.Int("requests", 100, "request pool size")
 		cacheGB    = flag.Float64("cache-gb", 4, "reference cache size for workload sizing (match the server)")
 		popularity = flag.String("popularity", "zipf", "uniform or zipf")
 		seed       = flag.Int64("seed", 1, "workload seed")
+		retries    = flag.Int("retries", 1, "client stage attempts when the server answers busy/retryable (1 = no retry)")
+		degraded   = flag.Bool("degraded", false, "run the degraded-mode fault experiment instead of benching a server")
+		csv        = flag.Bool("csv", false, "with -degraded: emit CSV instead of the aligned table")
 	)
 	flag.Parse()
+
+	if *degraded {
+		if err := runDegraded(*jobs, *clients, *files, *requests, *cacheGB, *seed, *csv, os.Stdout); err != nil {
+			fail(err)
+		}
+		return
+	}
 
 	pop := workload.Zipf
 	if *popularity == "uniform" {
@@ -55,11 +74,32 @@ func main() {
 		fail(err)
 	}
 
-	sum, err := runBench(*addr, w, *clients, *jobs)
+	sum, err := runBench(*addr, w, *clients, *jobs, *retries)
 	if err != nil {
 		fail(err)
 	}
 	sum.print(os.Stdout)
+}
+
+// runDegraded runs the serverless degraded-mode experiment and writes the
+// table. jobs is per simulation point; the remaining knobs mirror the bench
+// workload so both modes describe the same traffic.
+func runDegraded(jobs, clients, files, requests int, cacheGB float64, seed int64, csv bool, out *os.File) error {
+	cfg := experiment.DefaultConfig()
+	cfg.Seed = seed
+	cfg.Jobs = jobs * clients
+	cfg.NumFiles = files
+	cfg.NumRequests = requests
+	cfg.CacheSize = bundle.Size(cacheGB * float64(bundle.GB))
+	cfg.Progress = os.Stderr
+	t, err := cfg.DegradedMode()
+	if err != nil {
+		return err
+	}
+	if csv {
+		return t.CSV(out)
+	}
+	return t.Render(out)
 }
 
 // benchSummary aggregates a load-test run.
@@ -73,7 +113,9 @@ type benchSummary struct {
 
 // runBench registers the workload's files on the server and drives the
 // client fleet. Each client's jobs are a disjoint slice of w.Jobs.
-func runBench(addr string, w *workload.Workload, clients, jobsPerClient int) (*benchSummary, error) {
+// stageAttempts >= 2 retries busy/retryable server answers with the
+// server's own retry-after pacing.
+func runBench(addr string, w *workload.Workload, clients, jobsPerClient, stageAttempts int) (*benchSummary, error) {
 	setup, err := srm.Dial(addr)
 	if err != nil {
 		return nil, err
@@ -116,7 +158,7 @@ func runBench(addr string, w *workload.Workload, clients, jobsPerClient int) (*b
 				}
 				b := w.Requests[w.Jobs[idx]]
 				t0 := time.Now()
-				token, _, _, err := conn.Stage(names(b)...)
+				token, _, _, err := conn.StageRetry(stageAttempts, names(b)...)
 				if err == nil {
 					err = conn.Release(token)
 				}

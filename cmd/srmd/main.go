@@ -25,6 +25,7 @@ import (
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"fbcache/internal/bundle"
 	"fbcache/internal/core"
@@ -46,6 +47,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		listen   = fs.String("listen", "", "serve on this address (e.g. :7070)")
 		httpAddr = fs.String("http", "", "also serve monitoring stats over HTTP on this address")
 		cacheGB  = fs.Float64("cache-gb", 10, "cache size in GB (server)")
+		drain    = fs.Duration("drain", 5*time.Second, "graceful-shutdown drain deadline for in-flight connections (server)")
 		connect  = fs.String("connect", "", "act as a client of this server")
 		addfile  = fs.String("addfile", "", "client: register name:sizeBytes")
 		stage    = fs.String("stage", "", "client: stage comma-separated file names")
@@ -58,7 +60,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	switch {
 	case *listen != "":
-		return runServer(*listen, *httpAddr, *cacheGB, stdout, stderr)
+		return runServer(*listen, *httpAddr, *cacheGB, *drain, stdout, stderr)
 	case *connect != "":
 		return runClient(*connect, *addfile, *stage, *release, *stats, stdout, stderr)
 	default:
@@ -67,7 +69,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 }
 
-func runServer(addr, httpAddr string, cacheGB float64, stdout, stderr io.Writer) int {
+// testStop, when non-nil, lets tests trigger the shutdown path without
+// delivering a real signal to the test process.
+var testStop chan struct{}
+
+func runServer(addr, httpAddr string, cacheGB float64, drain time.Duration, stdout, stderr io.Writer) int {
 	cat := bundle.NewCatalog()
 	pol := policy.WrapOptFileBundle(core.New(
 		bundle.Size(cacheGB*float64(bundle.GB)), cat.SizeFunc(),
@@ -91,12 +97,21 @@ func runServer(addr, httpAddr string, cacheGB float64, stdout, stderr io.Writer)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	<-sig
-	fmt.Fprintln(stdout, "srmd: shutting down")
-	service.Close()
-	if err := server.Close(); err != nil {
-		fmt.Fprintf(stderr, "srmd: close: %v\n", err)
+	defer signal.Stop(sig)
+	select {
+	case <-sig:
+	case <-testStop:
 	}
+
+	// Graceful teardown: stop accepting, give in-flight connections the
+	// drain window to finish and release their bundles, then force-close
+	// stragglers (dropping a connection releases its leases too).
+	fmt.Fprintf(stdout, "srmd: shutting down (draining up to %v)\n", drain)
+	if err := server.Shutdown(drain); err != nil {
+		fmt.Fprintf(stderr, "srmd: shutdown: %v\n", err)
+	}
+	service.Close()
+	fmt.Fprintln(stdout, "srmd: stopped")
 	return 0
 }
 

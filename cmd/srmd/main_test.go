@@ -3,7 +3,9 @@ package main
 import (
 	"bytes"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"fbcache/internal/bundle"
 	"fbcache/internal/core"
@@ -80,6 +82,95 @@ func TestRunClientLifecycle(t *testing.T) {
 		if !strings.Contains(stdout.String(), want) {
 			t.Errorf("stats output missing %q:\n%s", want, stdout.String())
 		}
+	}
+}
+
+// syncBuffer is a bytes.Buffer safe for the server goroutine and the test
+// to share.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestRunServerGracefulShutdown smoke-tests the full server mode through
+// run(): boot on a loopback port, serve a real client, then shut down
+// gracefully via the test hook that stands in for SIGINT/SIGTERM.
+func TestRunServerGracefulShutdown(t *testing.T) {
+	testStop = make(chan struct{})
+	defer func() { testStop = nil }()
+
+	var out, errOut syncBuffer
+	done := make(chan int, 1)
+	go func() {
+		done <- run([]string{"-listen", "127.0.0.1:0", "-cache-gb", "0.1", "-drain", "2s"}, &out, &errOut)
+	}()
+
+	// The server prints its bound address once listening.
+	var addr string
+	deadline := time.Now().Add(5 * time.Second)
+	for addr == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("server never announced its address; output: %q %q", out.String(), errOut.String())
+		}
+		if s := out.String(); strings.Contains(s, ") on ") {
+			addr = strings.TrimSpace(s[strings.Index(s, ") on ")+len(") on "):])
+			addr = strings.Fields(addr)[0]
+		} else {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	// A real staging round trip against the running server.
+	c, err := srm.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddFile("evt-x", 1024); err != nil {
+		t.Fatal(err)
+	}
+	token, _, _, err := c.Stage("evt-x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Release(token); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Trigger the shutdown path (stands in for SIGINT/SIGTERM) and wait for
+	// a clean exit.
+	close(testStop)
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("server exit code %d; stderr: %s", code, errOut.String())
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatalf("server did not shut down; output: %q", out.String())
+	}
+	for _, want := range []string{"shutting down", "srmd: stopped"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("shutdown output missing %q:\n%s", want, out.String())
+		}
+	}
+
+	// The listener must actually be gone.
+	if _, err := srm.Dial(addr); err == nil {
+		t.Error("server still accepting connections after shutdown")
 	}
 }
 

@@ -16,6 +16,8 @@
 //     by expression statements or overwritten before inspection.
 //   - hotalloc: the OptCacheSelect/OptFileBundle/Landlord inner loops must
 //     not allocate per iteration (closures, make, growing append, boxing).
+//   - retrybound: retry loops must be attempt-bounded — an unbounded
+//     `for { retry }` hangs forever on a persistent fault.
 //   - allowcheck: every //fbvet:allow directive must carry a justification.
 //
 // The suite runs over packages type-checked with the standard library's
@@ -97,7 +99,7 @@ func (d Diagnostic) String() string {
 // flow-sensitive dataflow analyzers (ndtaint, errflow, hotalloc — see
 // dataflow.go) and the allow-directive self-check.
 func All() []*Analyzer {
-	return []*Analyzer{MapIter, FloatEq, LockCheck, SizeUnits, NDTaint, ErrFlow, HotAlloc, AllowCheck}
+	return []*Analyzer{MapIter, FloatEq, LockCheck, SizeUnits, NDTaint, ErrFlow, HotAlloc, RetryBound, AllowCheck}
 }
 
 // ByName resolves a comma-separated analyzer list ("mapiter,floateq").

@@ -150,6 +150,7 @@ func TestSizeUnitsGolden(t *testing.T)  { runGolden(t, SizeUnits) }
 func TestNDTaintGolden(t *testing.T)    { runGolden(t, NDTaint) }
 func TestErrFlowGolden(t *testing.T)    { runGolden(t, ErrFlow) }
 func TestHotAllocGolden(t *testing.T)   { runGolden(t, HotAlloc) }
+func TestRetryBoundGolden(t *testing.T) { runGolden(t, RetryBound) }
 func TestAllowCheckGolden(t *testing.T) { runGolden(t, AllowCheck) }
 
 // TestAllowCheckUnsuppressable proves an unjustified directive cannot allow

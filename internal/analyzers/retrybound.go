@@ -1,0 +1,204 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// RetryBound enforces that retry loops are attempt-bounded. A loop with no
+// exit condition in its header (`for { ... }` / `for true { ... }`) that
+// keeps re-trying a fallible operation — it calls a retry-flavored helper, or
+// it assigns an error and sleeps between iterations — will spin forever when
+// the failure is persistent, turning one dead site into a hung job. Such a
+// loop must either bound its attempts in the header, count attempts against a
+// cap inside the body (any integer comparison in a branch condition counts as
+// the guard), or wait on a channel deadline via select. The resilience layer
+// gets this for free from faults.RetryPolicy.MaxAttempts; hand-rolled loops
+// must match it.
+var RetryBound = &Analyzer{
+	Name: "retrybound",
+	Doc: "flag unbounded retry loops: `for { retry }` with no attempt cap or " +
+		"deadline on simulator and cmd/ paths",
+	Run: runRetryBound,
+}
+
+// retryboundScope: everything under internal/ plus the commands — the whole
+// tree hand-rolled retry loops could hide in.
+var retryboundScope = []string{"internal/", "cmd/"}
+
+func runRetryBound(pass *Pass) {
+	if !inAnalyzerScope(pass, retryboundScope) {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			loop, ok := n.(*ast.ForStmt)
+			if !ok || !headerUnbounded(pass, loop) {
+				return true
+			}
+			if !looksLikeRetry(pass, loop.Body) {
+				return true
+			}
+			if bodyBoundsAttempts(pass, loop.Body) {
+				return true
+			}
+			pass.Reportf(loop.Pos(), "unbounded retry loop: nothing caps the attempts; "+
+				"bound the loop header, guard an attempt counter, or select on a deadline "+
+				"(cf. faults.RetryPolicy.MaxAttempts)")
+			return true
+		})
+	}
+}
+
+// headerUnbounded reports whether the for header places no bound on the loop:
+// no condition at all, or a condition that is constantly true.
+func headerUnbounded(pass *Pass, loop *ast.ForStmt) bool {
+	if loop.Cond == nil {
+		return true
+	}
+	tv, ok := pass.TypesInfo.Types[loop.Cond]
+	return ok && tv.Value != nil && tv.Value.String() == "true"
+}
+
+// looksLikeRetry reports whether the loop body is re-trying a fallible
+// operation: it calls something retry-flavored by name, or it both assigns an
+// error and sleeps (the classic retry-with-pause shape). Plain event loops —
+// accept/decode until error — assign errors but never sleep, and stay exempt.
+func looksLikeRetry(pass *Pass, body *ast.BlockStmt) bool {
+	assignsErr, sleeps, named := false, false, false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			name := calleeName(n)
+			if isTimeSleep(pass, n) {
+				sleeps = true
+			} else if retryFlavored(name) {
+				named = true
+			}
+		case *ast.AssignStmt:
+			for _, l := range n.Lhs {
+				if id, ok := l.(*ast.Ident); ok && id.Name != "_" {
+					if obj := pass.TypesInfo.ObjectOf(id); obj != nil && types.Identical(obj.Type(), errorType) {
+						assignsErr = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	return named || (assignsErr && sleeps)
+}
+
+// retryFlavored matches callee names that announce a retry.
+func retryFlavored(name string) bool {
+	lower := strings.ToLower(name)
+	for _, frag := range []string{"retry", "backoff", "redial", "reconnect"} {
+		if strings.Contains(lower, frag) {
+			return true
+		}
+	}
+	return false
+}
+
+// calleeName extracts the bare function or method name of a call.
+func calleeName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+// isTimeSleep reports whether call is time.Sleep.
+func isTimeSleep(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Sleep" {
+		return false
+	}
+	pkg, _ := calleePackage(pass, call)
+	return pkg == "time"
+}
+
+// bodyBoundsAttempts reports whether something inside the loop can cut the
+// retries off: an integer comparison inside a branch condition (an attempt
+// counter checked against a cap) or a select statement (a deadline or
+// cancellation channel).
+func bodyBoundsAttempts(pass *Pass, body *ast.BlockStmt) bool {
+	bounded := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if bounded {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SelectStmt:
+			bounded = true
+			return false
+		case *ast.IfStmt:
+			if condComparesInt(pass, n.Cond) {
+				bounded = true
+				return false
+			}
+		case *ast.ForStmt:
+			if n.Cond != nil && condComparesInt(pass, n.Cond) {
+				bounded = true
+				return false
+			}
+		case *ast.SwitchStmt:
+			if n.Tag != nil && isIntType(pass.TypeOf(n.Tag)) {
+				bounded = true
+				return false
+			}
+			for _, clause := range n.Body.List {
+				cc, ok := clause.(*ast.CaseClause)
+				if !ok {
+					continue
+				}
+				for _, e := range cc.List {
+					if condComparesInt(pass, e) {
+						bounded = true
+						return false
+					}
+				}
+			}
+		}
+		return true
+	})
+	return bounded
+}
+
+// condComparesInt reports whether the expression contains a comparison with
+// an integer-typed operand.
+func condComparesInt(pass *Pass, cond ast.Expr) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		bin, ok := n.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		switch bin.Op {
+		case token.LSS, token.LEQ, token.GTR, token.GEQ, token.EQL, token.NEQ:
+			if isIntType(pass.TypeOf(bin.X)) || isIntType(pass.TypeOf(bin.Y)) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isIntType reports whether t's underlying type is an integer basic.
+func isIntType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}

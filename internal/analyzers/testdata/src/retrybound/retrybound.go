@@ -1,0 +1,109 @@
+// Package retrybound is golden-test input for the retrybound analyzer:
+// retry loops must be attempt-bounded or deadline-bounded.
+package retrybound
+
+import (
+	"errors"
+	"time"
+)
+
+func op() error { return errors.New("transient") }
+
+func retryOnce() error { return errors.New("nope") }
+
+// UnboundedSleepRetry spins forever when the failure is persistent: the
+// classic sleep-and-retry shape with nothing capping the attempts.
+func UnboundedSleepRetry() {
+	for { // want "unbounded retry loop"
+		if err := op(); err == nil {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// UnboundedNamedRetry calls a retry-flavored helper in an infinite loop;
+// the callee name alone marks the loop, sleep or not.
+func UnboundedNamedRetry() {
+	for { // want "unbounded retry loop"
+		if retryOnce() == nil {
+			break
+		}
+	}
+}
+
+// ForTrueRetry is the same hazard spelled with a constant condition.
+func ForTrueRetry() {
+	for true { // want "unbounded retry loop"
+		if err := op(); err == nil {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// BoundedByHeader is the conventional shape: the header caps the attempts.
+func BoundedByHeader() error {
+	var err error
+	for attempt := 0; attempt < 5; attempt++ {
+		if err = op(); err == nil {
+			return nil
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return err
+}
+
+// BoundedByGuard counts attempts inside a bare for and exits on the cap;
+// the integer comparison in the branch condition is the recognized bound.
+func BoundedByGuard() error {
+	attempts := 0
+	for {
+		err := op()
+		if err == nil {
+			return nil
+		}
+		attempts++
+		if attempts >= 5 {
+			return err
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// BoundedByDeadline exits via a select on a timer channel: deadline-bounded,
+// not attempt-bounded, and equally acceptable.
+func BoundedByDeadline() error {
+	deadline := time.After(time.Second)
+	for {
+		if err := op(); err == nil {
+			return nil
+		}
+		select {
+		case <-deadline:
+			return errors.New("deadline exceeded")
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+// EventLoop assigns an error every iteration but never sleeps and never
+// names a retry: accept/decode-until-error loops are not retry loops.
+func EventLoop(next func() (int, error)) {
+	for {
+		_, err := next()
+		if err != nil {
+			return
+		}
+	}
+}
+
+// SanctionedSpin shows the escape hatch for a deliberate wait-forever loop.
+func SanctionedSpin() {
+	for { //fbvet:allow retrybound — boot-time wait; the operator interrupts with a signal
+		if err := op(); err == nil {
+			return
+		}
+		time.Sleep(time.Second)
+	}
+}

@@ -1,0 +1,92 @@
+package experiment
+
+import (
+	"fmt"
+
+	"fbcache/internal/faults"
+	"fbcache/internal/mss"
+	"fbcache/internal/policy"
+	"fbcache/internal/policy/classic"
+	"fbcache/internal/policy/landlord"
+	"fbcache/internal/simulate"
+	"fbcache/internal/workload"
+)
+
+// degradedFailureRates is the per-transfer failure probability sweep of the
+// degraded-mode experiment; 0 is the fault-free reference row.
+var degradedFailureRates = []float64{0, 0.05, 0.1, 0.2, 0.3}
+
+// DegradedMode re-runs the paper's policy comparison with the grid
+// misbehaving: the timed simulator under a rising per-transfer failure
+// probability (retries with capped exponential backoff, bounded requeues).
+// For each policy it tables the request hit ratio and the mean job slowdown —
+// mean response time divided by the same policy's fault-free mean response —
+// so the cost of retry storms is visible per policy. Fully deterministic:
+// fault draws come from a seeded injector (seed derived from Config.Seed),
+// so the table is bit-reproducible for a given config.
+func (c Config) DegradedMode() (*Table, error) {
+	factories := []struct {
+		name string
+		mk   policy.Factory
+	}{
+		{"opt", optFactory()},
+		{"landlord", landlord.Factory()},
+		{"gdsf", classic.GDSFFactory()},
+	}
+
+	w, err := workload.Generate(c.baseSpec(workload.Zipf, 0.05))
+	if err != nil {
+		return nil, err
+	}
+	// An archive slow enough that staging (and therefore retries and
+	// backoff) dominates response time, as in the paper's data-grid setting.
+	archive := mss.Config{Name: "degraded-mss", LatencySec: 1, BandwidthBps: 100e6, Channels: 4}
+
+	series := make([]string, 0, 2*len(factories))
+	for _, f := range factories {
+		series = append(series, f.name+" hit", f.name+" slowdown")
+	}
+	t := &Table{
+		ID:       "degraded",
+		Title:    "Degraded mode: hit ratio and mean job slowdown vs transfer failure rate",
+		ColLabel: "failure prob",
+		Series:   series,
+	}
+
+	baseline := make([]float64, len(factories)) // fault-free mean response per policy
+	for _, rate := range degradedFailureRates {
+		vals := make([]float64, 0, len(series))
+		for i, f := range factories {
+			sc := faults.Scenario{
+				Seed:                c.Seed + 1000, // independent of the workload seed
+				TransferFailureProb: rate,
+				MaxJobAttempts:      3,
+			}
+			p := f.mk(c.CacheSize, w.Catalog.SizeFunc())
+			st, err := simulate.RunEvents(w, p, simulate.EventOptions{
+				ArrivalRate: 2,
+				MSS:         archive,
+				Seed:        c.Seed,
+				Faults:      &sc,
+			})
+			if err != nil {
+				return nil, err
+			}
+			if rate == 0 { //fbvet:allow floateq — the literal 0 in the sweep, not a computed float
+				baseline[i] = st.MeanResponse
+			}
+			slowdown := 0.0
+			if baseline[i] > 0 {
+				slowdown = st.MeanResponse / baseline[i]
+			}
+			vals = append(vals, st.HitRatio, slowdown)
+			c.progress("degraded: p=%.2f %s hit=%.4f slowdown=%.2f (resilience %v)",
+				rate, f.name, st.HitRatio, slowdown, st.Resilience)
+		}
+		t.AddRow(fmt.Sprintf("p=%.2f", rate), rate, vals...)
+	}
+	t.Notes = append(t.Notes,
+		"slowdown = mean response / the same policy's fault-free mean response (row p=0.00 is 1 by construction)",
+		"reproduce: go run ./cmd/srmbench -degraded   (add -jobs/-seed to rescale; table is deterministic per seed)")
+	return t, nil
+}

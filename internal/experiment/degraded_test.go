@@ -1,0 +1,71 @@
+package experiment
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+func degradedTestConfig() Config {
+	c := DefaultConfig()
+	c.Jobs = 300
+	c.NumFiles = 100
+	c.NumRequests = 60
+	return c
+}
+
+func TestDegradedModeShapeAndBaseline(t *testing.T) {
+	c := degradedTestConfig()
+	tab, err := c.DegradedMode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != len(degradedFailureRates) {
+		t.Fatalf("rows = %d, want %d", len(tab.Rows), len(degradedFailureRates))
+	}
+	if len(tab.Series) != 6 {
+		t.Fatalf("series = %v, want 3 policies x (hit, slowdown)", tab.Series)
+	}
+
+	for _, name := range []string{"opt", "landlord", "gdsf"} {
+		hits, err := tab.SeriesValues(name + " hit")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, h := range hits {
+			if h < 0 || h > 1 {
+				t.Errorf("%s hit[%d] = %v, outside [0,1]", name, i, h)
+			}
+		}
+		slow, err := tab.SeriesValues(name + " slowdown")
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Row p=0.00 is the baseline: slowdown exactly 1 by construction.
+		if slow[0] != 1 { //fbvet:allow floateq — x/x for nonzero x is exactly 1 in IEEE 754
+			t.Errorf("%s slowdown at p=0 = %v, want exactly 1", name, slow[0])
+		}
+		// Failures only ever add retries and backoff waits; the heaviest
+		// failure rate cannot make jobs faster than the fault-free run.
+		last := slow[len(slow)-1]
+		if math.IsNaN(last) || last < 1 {
+			t.Errorf("%s slowdown at p=%v = %v, want >= 1", name,
+				degradedFailureRates[len(degradedFailureRates)-1], last)
+		}
+	}
+}
+
+func TestDegradedModeDeterministic(t *testing.T) {
+	c := degradedTestConfig()
+	a, err := c.DegradedMode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.DegradedMode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same config produced different degraded-mode tables")
+	}
+}

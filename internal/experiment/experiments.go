@@ -526,7 +526,7 @@ func (c Config) All() ([]*Table, error) {
 		return nil, err
 	}
 	out = append(out, bl)
-	for _, gen := range []func() (*Table, error){c.HybridStudy, c.RequestSizeStudy, c.SaturationStudy, c.ShardingStudy, c.OverlapStudy} {
+	for _, gen := range []func() (*Table, error){c.HybridStudy, c.RequestSizeStudy, c.SaturationStudy, c.ShardingStudy, c.OverlapStudy, c.DegradedMode} {
 		tab, err := gen()
 		if err != nil {
 			return nil, err

@@ -1,0 +1,175 @@
+package faults
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func mustInjector(t *testing.T, sc Scenario) *Injector {
+	t.Helper()
+	in, err := NewInjector(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestZeroScenarioIsNoFaults(t *testing.T) {
+	in := mustInjector(t, Scenario{})
+	for _, at := range []float64{0, 1, 1e6} {
+		if !in.Up(0, at) || !in.Up(42, at) {
+			t.Errorf("zero scenario reports a site down at %v", at)
+		}
+		if got := in.NextUp(3, at); got != at {
+			t.Errorf("NextUp(%v) = %v, want identity", at, got)
+		}
+		if got := in.Slowdown(0, at); got != 1 {
+			t.Errorf("Slowdown(%v) = %v, want 1", at, got)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		if in.TransferFails() {
+			t.Fatal("zero-probability transfer failed")
+		}
+	}
+	if draws, failures := in.Draws(); draws != 0 || failures != 0 {
+		t.Errorf("zero-probability scenario consumed RNG draws: %d/%d", draws, failures)
+	}
+	if in.Retry().MaxAttempts != DefaultRetryPolicy().MaxAttempts {
+		t.Errorf("zero retry policy not defaulted: %+v", in.Retry())
+	}
+	if in.Scenario().MaxJobAttempts != 1 {
+		t.Errorf("MaxJobAttempts not defaulted: %d", in.Scenario().MaxJobAttempts)
+	}
+}
+
+func TestWindowsAndNextUp(t *testing.T) {
+	in := mustInjector(t, Scenario{Sites: map[int]SiteFaults{
+		1: {
+			Outages:  []Window{{Start: 10, End: 20}, {Start: 19, End: 25}},
+			LinkDown: []Window{{Start: 24, End: 30}},
+		},
+	}})
+	if !in.Up(1, 9.99) || in.Up(1, 10) || in.Up(1, 24.5) || !in.Up(1, 30) {
+		t.Error("window membership wrong (intervals are half-open)")
+	}
+	if in.SiteUp(1, 15) {
+		t.Error("SiteUp inside outage")
+	}
+	if !in.LinkUp(1, 15) {
+		t.Error("LinkUp false outside link window")
+	}
+	// Chained windows: 10→20 is inside 19–25, 25 inside link-down 24–30.
+	if got := in.NextUp(1, 12); got != 30 {
+		t.Errorf("NextUp(12) = %v, want 30 (chained windows)", got)
+	}
+	// Other sites are unaffected.
+	if !in.Up(0, 15) {
+		t.Error("unconfigured site down")
+	}
+}
+
+func TestSlowdownCompounds(t *testing.T) {
+	in := mustInjector(t, Scenario{Sites: map[int]SiteFaults{
+		0: {Brownouts: []Brownout{
+			{Window: Window{Start: 0, End: 100}, Factor: 2},
+			{Window: Window{Start: 50, End: 60}, Factor: 3},
+		}},
+	}})
+	if got := in.Slowdown(0, 10); got != 2 {
+		t.Errorf("Slowdown(10) = %v, want 2", got)
+	}
+	if got := in.Slowdown(0, 55); got != 6 {
+		t.Errorf("Slowdown(55) = %v, want 6 (compounded)", got)
+	}
+	if got := in.Slowdown(0, 200); got != 1 {
+		t.Errorf("Slowdown(200) = %v, want 1", got)
+	}
+}
+
+func TestTransferFailsDeterministic(t *testing.T) {
+	sc := Scenario{Seed: 7, TransferFailureProb: 0.3}
+	a, b := mustInjector(t, sc), mustInjector(t, sc)
+	sawFailure := false
+	for i := 0; i < 500; i++ {
+		fa, fb := a.TransferFails(), b.TransferFails()
+		if fa != fb {
+			t.Fatalf("draw %d diverges between same-seed injectors", i)
+		}
+		sawFailure = sawFailure || fa
+	}
+	if !sawFailure {
+		t.Error("probability 0.3 produced no failures in 500 draws")
+	}
+	draws, failures := a.Draws()
+	if draws != 500 || failures == 0 || failures == 500 {
+		t.Errorf("draws=%d failures=%d", draws, failures)
+	}
+}
+
+func TestBackoffCappedAndJittered(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 5, BaseDelaySec: 1, MaxDelaySec: 8, Multiplier: 2, JitterFrac: 0}
+	for i, want := range []float64{1, 2, 4, 8, 8, 8} {
+		if got := p.Backoff(i, nil); got != want {
+			t.Errorf("Backoff(%d) = %v, want %v", i, got, want)
+		}
+	}
+	p.JitterFrac = 0.5
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		d := p.Backoff(0, rng)
+		if d < 0.5 || d > 1.5 {
+			t.Fatalf("jittered backoff %v outside [0.5, 1.5]", d)
+		}
+	}
+	// Same seed, same jitter sequence.
+	r1, r2 := rand.New(rand.NewSource(3)), rand.New(rand.NewSource(3))
+	for i := 0; i < 20; i++ {
+		if p.Backoff(i%4, r1) != p.Backoff(i%4, r2) {
+			t.Fatal("jitter not reproducible from the seed")
+		}
+	}
+}
+
+func TestDowntimeSeconds(t *testing.T) {
+	in := mustInjector(t, Scenario{Sites: map[int]SiteFaults{
+		2: {
+			Outages:  []Window{{Start: 10, End: 20}, {Start: 15, End: 25}}, // overlap: 10–25
+			LinkDown: []Window{{Start: 40, End: 50}, {Start: 90, End: 200}},
+		},
+	}})
+	if got := in.DowntimeSeconds(2, 100); math.Abs(got-35) > 1e-12 {
+		t.Errorf("DowntimeSeconds = %v, want 35 (15 merged + 10 + 10 clipped)", got)
+	}
+	if got := in.DowntimeSeconds(2, 0); got != 0 {
+		t.Errorf("zero horizon downtime = %v", got)
+	}
+	if got := in.DowntimeSeconds(0, 100); got != 0 {
+		t.Errorf("unconfigured site downtime = %v", got)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := []Scenario{
+		{TransferFailureProb: -0.1},
+		{TransferFailureProb: 1},
+		{StageBudgetSec: -1},
+		{MaxJobAttempts: -2},
+		{Retry: RetryPolicy{MaxAttempts: 0, BaseDelaySec: 1, Multiplier: 2}},
+		{Retry: RetryPolicy{MaxAttempts: 2, BaseDelaySec: -1, Multiplier: 2}},
+		{Retry: RetryPolicy{MaxAttempts: 2, Multiplier: 0.5}},
+		{Retry: RetryPolicy{MaxAttempts: 2, Multiplier: 2, JitterFrac: 2}},
+		{Sites: map[int]SiteFaults{0: {Outages: []Window{{Start: 5, End: 1}}}}},
+		{Sites: map[int]SiteFaults{0: {LinkDown: []Window{{Start: 5, End: 1}}}}},
+		{Sites: map[int]SiteFaults{0: {Brownouts: []Brownout{{Window: Window{Start: 0, End: 1}, Factor: 0.5}}}}},
+	}
+	for i, sc := range bad {
+		if _, err := NewInjector(sc); err == nil {
+			t.Errorf("scenario %d accepted: %+v", i, sc)
+		}
+	}
+	if _, err := NewInjector(Scenario{TransferFailureProb: 0.5, StageBudgetSec: 100, MaxJobAttempts: 3}); err != nil {
+		t.Errorf("valid scenario rejected: %v", err)
+	}
+}

@@ -8,6 +8,7 @@ package grid
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"fbcache/internal/bundle"
 	"fbcache/internal/mss"
@@ -133,23 +134,50 @@ func (r *Replicas) Add(f bundle.FileID, s SiteID) {
 	r.locs[f] = append(r.locs[f], s)
 }
 
-// Sites returns the sites holding f (nil if unknown).
-func (r *Replicas) Sites(f bundle.FileID) []SiteID { return r.locs[f] }
+// Sites returns the sites holding f (nil if unknown). The slice is a copy;
+// mutating it cannot corrupt the catalog.
+func (r *Replicas) Sites(f bundle.FileID) []SiteID {
+	locs := r.locs[f]
+	if locs == nil {
+		return nil
+	}
+	out := make([]SiteID, len(locs))
+	copy(out, locs)
+	return out
+}
+
+// Source is one ranked replica option: a site holding the file and its
+// transfer cost to the local cache.
+type Source struct {
+	Site SiteID
+	Cost float64
+}
+
+// RankedSources returns the reachable replica sites of f ordered
+// cheapest-first — the failover walk order when a transfer keeps failing.
+// Unreachable replicas (no link) are omitted; cost ties keep registration
+// order, so the first element is exactly BestSource's pick.
+func (r *Replicas) RankedSources(t *Topology, f bundle.FileID, size bundle.Size) []Source {
+	var out []Source
+	for _, s := range r.locs[f] {
+		c := t.TransferSeconds(s, size)
+		if math.IsInf(c, 1) {
+			continue
+		}
+		out = append(out, Source{Site: s, Cost: c})
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Cost < out[j].Cost })
+	return out
+}
 
 // BestSource picks the replica site with the lowest transfer cost to the
 // local cache. ok is false when no replica is registered or reachable.
 func (r *Replicas) BestSource(t *Topology, f bundle.FileID, size bundle.Size) (SiteID, float64, bool) {
-	best := SiteID(-1)
-	bestCost := math.Inf(1)
-	for _, s := range r.locs[f] {
-		if c := t.TransferSeconds(s, size); c < bestCost {
-			best, bestCost = s, c
-		}
-	}
-	if best < 0 || math.IsInf(bestCost, 1) {
+	ranked := r.RankedSources(t, f, size)
+	if len(ranked) == 0 {
 		return 0, 0, false
 	}
-	return best, bestCost, true
+	return ranked[0].Site, ranked[0].Cost, true
 }
 
 // StageBundleCost sums the best-replica transfer costs of all files of b,

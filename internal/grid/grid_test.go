@@ -116,6 +116,95 @@ func TestReplicaSelection(t *testing.T) {
 	}
 }
 
+// TestSitesReturnsCopy is the regression test for the catalog-aliasing bug:
+// Sites used to hand out its internal slice, so a caller could rewrite the
+// replica locations in place.
+func TestSitesReturnsCopy(t *testing.T) {
+	topo, cern, slac := buildTopo(t)
+	reps := NewReplicas()
+	f := bundle.FileID(3)
+	reps.Add(f, cern)
+	reps.Add(f, slac)
+
+	got := reps.Sites(f)
+	if len(got) != 2 {
+		t.Fatalf("Sites = %v", got)
+	}
+	got[0], got[1] = 99, 99 // attempt to corrupt the catalog through the return
+
+	if again := reps.Sites(f); again[0] != cern || again[1] != slac {
+		t.Fatalf("catalog mutated through Sites' return value: %v", again)
+	}
+	if _, _, ok := reps.BestSource(topo, f, 100); !ok {
+		t.Fatal("BestSource broken after caller scribbled on Sites' return")
+	}
+	if reps.Sites(bundle.FileID(404)) != nil {
+		t.Error("unknown file should return nil")
+	}
+}
+
+func TestRankedSources(t *testing.T) {
+	topo, cern, slac := buildTopo(t)
+	reps := NewReplicas()
+	f := bundle.FileID(7)
+	// Register in cost-descending order to prove sorting happens: cern (10),
+	// local (2); slac is unreachable and must be omitted.
+	reps.Add(f, cern)
+	reps.Add(f, slac)
+	reps.Add(f, topo.Local())
+
+	ranked := reps.RankedSources(topo, f, 100)
+	if len(ranked) != 2 {
+		t.Fatalf("RankedSources = %v, want 2 reachable sources", ranked)
+	}
+	if ranked[0].Site != topo.Local() || math.Abs(ranked[0].Cost-2) > 1e-12 {
+		t.Errorf("cheapest = %+v, want local @2", ranked[0])
+	}
+	if ranked[1].Site != cern || math.Abs(ranked[1].Cost-10) > 1e-12 {
+		t.Errorf("second = %+v, want cern @10", ranked[1])
+	}
+
+	// The first ranked source and BestSource must always agree (failover
+	// starts exactly where the fault-free path would have fetched).
+	site, cost, ok := reps.BestSource(topo, f, 100)
+	if !ok || site != ranked[0].Site || cost != ranked[0].Cost {
+		t.Errorf("BestSource %v@%v disagrees with RankedSources[0] %+v", site, cost, ranked[0])
+	}
+
+	if got := reps.RankedSources(topo, bundle.FileID(404), 100); len(got) != 0 {
+		t.Errorf("unknown file ranked = %v", got)
+	}
+}
+
+// TestRankedSourcesTieOrder pins the tie-break: equal-cost replicas keep
+// registration order, which is what makes the fault path bit-compatible
+// with the old BestSource scan.
+func TestRankedSourcesTieOrder(t *testing.T) {
+	topo, err := NewTopology("lbl", fastMSS("local"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var twins []SiteID
+	for _, name := range []string{"a", "b"} {
+		id, err := topo.AddSite(name, fastMSS(name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := topo.Connect(topo.Local(), id, Link{LatencySec: 1, BandwidthBps: 100}); err != nil {
+			t.Fatal(err)
+		}
+		twins = append(twins, id)
+	}
+	reps := NewReplicas()
+	f := bundle.FileID(1)
+	reps.Add(f, twins[1]) // register b first
+	reps.Add(f, twins[0])
+	ranked := reps.RankedSources(topo, f, 100)
+	if len(ranked) != 2 || ranked[0].Site != twins[1] {
+		t.Errorf("tie-break lost registration order: %+v", ranked)
+	}
+}
+
 func TestStageBundleCost(t *testing.T) {
 	topo, cern, _ := buildTopo(t)
 	reps := NewReplicas()

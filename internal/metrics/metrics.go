@@ -152,3 +152,41 @@ func (c *Collector) String() string {
 	return fmt.Sprintf("jobs=%d hit=%.4f byteMiss=%.4f bytes/req=%s",
 		c.jobs, c.HitRatio(), c.ByteMissRatio(), bundle.Size(c.BytesPerRequest()))
 }
+
+// Resilience counts fault-handling events: how often the retry/failover
+// layer (internal/faults) had to intervene. Both the discrete-event
+// simulator (simulate.EventStats) and the live SRM (srm.Snapshot) report
+// one; all counters are zero in fault-free runs.
+type Resilience struct {
+	// Retries is the number of transfer or store operations repeated after
+	// a failed attempt.
+	Retries int64 `json:"retries,omitempty"`
+	// Failovers is the number of times staging moved past the cheapest
+	// replica to a more expensive reachable one.
+	Failovers int64 `json:"failovers,omitempty"`
+	// Timeouts is the number of staging deadlines or budgets exhausted.
+	Timeouts int64 `json:"timeouts,omitempty"`
+	// FailedJobs is the number of jobs abandoned after retries, failovers
+	// and requeues were exhausted.
+	FailedJobs int64 `json:"failed_jobs,omitempty"`
+	// Requeues is the number of failed jobs returned to the queue for
+	// another staging attempt.
+	Requeues int64 `json:"requeues,omitempty"`
+}
+
+// Add accumulates o into r.
+func (r *Resilience) Add(o Resilience) {
+	r.Retries += o.Retries
+	r.Failovers += o.Failovers
+	r.Timeouts += o.Timeouts
+	r.FailedJobs += o.FailedJobs
+	r.Requeues += o.Requeues
+}
+
+// Zero reports whether no fault-handling event was recorded.
+func (r Resilience) Zero() bool { return r == Resilience{} }
+
+func (r Resilience) String() string {
+	return fmt.Sprintf("retries=%d failovers=%d timeouts=%d failed=%d requeues=%d",
+		r.Retries, r.Failovers, r.Timeouts, r.FailedJobs, r.Requeues)
+}

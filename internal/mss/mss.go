@@ -52,11 +52,27 @@ func (c Config) TransferSeconds(size bundle.Size) float64 {
 	return c.LatencySec + float64(size)/c.BandwidthBps
 }
 
+// Availability lets a fault injector gate and slow a System's transfers:
+// NextUp defers transfer starts out of outage windows (drives offline,
+// robot down) and Slowdown scales transfer durations during bandwidth
+// brownouts. Nil means always up at full speed. Implementations must be
+// pure functions of simulation time — never the wall clock — so runs stay
+// reproducible.
+type Availability interface {
+	// NextUp returns the earliest time >= at the system may start a
+	// transfer.
+	NextUp(at float64) float64
+	// Slowdown returns the duration multiplier (>= 1) for a transfer
+	// starting at time at.
+	Slowdown(at float64) float64
+}
+
 // System is a stateful MSS instance inside a simulation: it tracks when each
 // channel becomes free so concurrent fetches queue realistically.
 type System struct {
-	cfg  Config
-	free []float64 // per-channel next-available time
+	cfg   Config
+	free  []float64 // per-channel next-available time
+	avail Availability
 
 	transfers int64
 	bytes     bundle.Size
@@ -74,9 +90,17 @@ func NewSystem(cfg Config) (*System, error) {
 // Config returns the system's configuration.
 func (s *System) Config() Config { return s.cfg }
 
+// SetAvailability attaches a fault schedule (see Availability). Call before
+// the first Fetch; a nil value restores the always-up model.
+func (s *System) SetAvailability(a Availability) { s.avail = a }
+
 // Fetch schedules one transfer requested at time now and returns its finish
-// time. The transfer starts when the earliest channel frees (or immediately)
-// and occupies that channel for LatencySec + size/bandwidth.
+// time. The transfer starts when the earliest channel frees (or
+// immediately), deferred past any outage window and stretched by any
+// brownout in effect at its start, and occupies that channel for
+// LatencySec + size/bandwidth (times the brownout factor). An outage or
+// brownout beginning mid-transfer does not interrupt it — the fault model
+// gates starts, not completions.
 func (s *System) Fetch(now float64, size bundle.Size) (finish float64) {
 	if size < 0 {
 		panic(fmt.Sprintf("mss: negative transfer size %d", size))
@@ -93,6 +117,10 @@ func (s *System) Fetch(now float64, size bundle.Size) (finish float64) {
 		start = s.free[ch]
 	}
 	dur := s.cfg.TransferSeconds(size)
+	if s.avail != nil {
+		start = s.avail.NextUp(start)
+		dur *= s.avail.Slowdown(start)
+	}
 	finish = start + dur
 	s.free[ch] = finish
 

@@ -99,6 +99,58 @@ func TestStatsAndUtilization(t *testing.T) {
 	}
 }
 
+// windowAvail is a test Availability: down during [downFrom, downTo), and a
+// constant brownout factor afterwards.
+type windowAvail struct {
+	downFrom, downTo float64
+	factor           float64
+}
+
+func (a windowAvail) NextUp(at float64) float64 {
+	if at >= a.downFrom && at < a.downTo {
+		return a.downTo
+	}
+	return at
+}
+
+func (a windowAvail) Slowdown(at float64) float64 {
+	if a.factor > 0 {
+		return a.factor
+	}
+	return 1
+}
+
+func TestFetchDefersPastOutage(t *testing.T) {
+	s, _ := NewSystem(Config{Name: "o", LatencySec: 1, BandwidthBps: 100, Channels: 1})
+	s.SetAvailability(windowAvail{downFrom: 0, downTo: 10})
+	// Requested at t=2 inside the outage: starts at 10, finishes at 12.
+	if got := s.Fetch(2, 100); got != 12 {
+		t.Errorf("outage fetch = %v, want 12", got)
+	}
+	// The channel is now busy until 12; next transfer queues normally.
+	if got := s.Fetch(2, 100); got != 14 {
+		t.Errorf("queued fetch = %v, want 14", got)
+	}
+	// Clearing the availability restores the plain model.
+	s.SetAvailability(nil)
+	if got := s.Fetch(20, 100); got != 22 {
+		t.Errorf("post-clear fetch = %v, want 22", got)
+	}
+}
+
+func TestFetchBrownoutStretchesDuration(t *testing.T) {
+	s, _ := NewSystem(Config{Name: "b", LatencySec: 1, BandwidthBps: 100, Channels: 1})
+	s.SetAvailability(windowAvail{factor: 3})
+	// 2s service time tripled: 6s.
+	if got := s.Fetch(0, 100); got != 6 {
+		t.Errorf("brownout fetch = %v, want 6", got)
+	}
+	_, _, busy := s.Stats()
+	if busy != 6 {
+		t.Errorf("busy accounting = %v, want the stretched duration", busy)
+	}
+}
+
 func TestFetchNegativeSizePanics(t *testing.T) {
 	s, _ := NewSystem(DefaultConfig())
 	defer func() {

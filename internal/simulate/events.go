@@ -3,11 +3,14 @@ package simulate
 import (
 	"container/heap"
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 
 	"fbcache/internal/bundle"
+	"fbcache/internal/faults"
 	"fbcache/internal/grid"
+	"fbcache/internal/metrics"
 	"fbcache/internal/mss"
 	"fbcache/internal/policy"
 	"fbcache/internal/stats"
@@ -36,6 +39,13 @@ type EventOptions struct {
 	Seed int64
 	// MaxJobs truncates the workload when > 0.
 	MaxJobs int
+	// Faults, when non-nil, arms the deterministic fault injector:
+	// scheduled MSS outages, WAN link-down windows, bandwidth brownouts and
+	// seeded per-transfer failures, answered by capped-exponential-backoff
+	// retries, ranked-replica failover and per-job staging budgets. A
+	// zero-valued scenario reproduces the fault-free simulation bit for
+	// bit; see internal/faults.
+	Faults *faults.Scenario
 }
 
 // GridConfig wires a topology and replica catalog into the simulation.
@@ -44,38 +54,163 @@ type GridConfig struct {
 	Replicas *grid.Replicas
 }
 
+// stageOutcome is one bundle's staging result: the finish time on success,
+// or the moment staging was abandoned (retries, failovers and budget
+// exhausted) on failure.
+type stageOutcome struct {
+	at float64
+	ok bool
+}
+
 // stager models where miss traffic comes from and how long it takes.
 type stager interface {
-	// stage schedules transfers for files at time now and returns when the
-	// last one lands in the cache.
-	stage(now float64, files bundle.Bundle, sizeOf bundle.SizeFunc) (float64, error)
+	// stage schedules transfers for files at time now and reports when the
+	// last one lands in the cache — or that staging failed and when.
+	stage(now float64, files bundle.Bundle, sizeOf bundle.SizeFunc) (stageOutcome, error)
 	// utilization reports mean transfer-channel utilization over [0, horizon].
 	utilization(horizon float64) float64
 }
 
-// mssStager is the single-archive model.
-type mssStager struct{ sys *mss.System }
-
-func (s mssStager) stage(now float64, files bundle.Bundle, sizeOf bundle.SizeFunc) (float64, error) {
-	return s.sys.FetchBundle(now, files, sizeOf), nil
+// resilient is the retry/failover engine shared by both stagers. With a
+// zero scenario every transfer succeeds on its first attempt against the
+// cheapest source, so the timing math reduces exactly to the fault-free
+// model.
+type resilient struct {
+	inj    *faults.Injector
+	budget float64 // per-job staging budget (seconds; 0 = unlimited)
+	res    metrics.Resilience
 }
 
-func (s mssStager) utilization(h float64) float64 { return s.sys.Utilization(h) }
+func (r *resilient) deadline(now float64) float64 {
+	if r.budget > 0 {
+		return now + r.budget
+	}
+	return math.Inf(1)
+}
 
-// gridStager pulls each file from its cheapest replica: the source site's
-// MSS channels queue the read; the WAN hop adds latency + size/bandwidth on
-// top (WAN links are modelled as uncontended).
+// stageFile schedules one file's transfer: bounded retries per source
+// (capped exponential backoff, jitter from the injector's seeded RNG),
+// failover across srcs cheapest-first, and bounded waits for the grid to
+// recover when every source is dark. fetch schedules one attempt against
+// srcs[k] at time t and returns its landing time; a failed attempt still
+// occupied its MSS channel — the transfer broke, it wasn't free.
+func (r *resilient) stageFile(now, deadline float64, srcs []int, fetch func(k int, t float64) float64) (float64, bool) {
+	retry := r.inj.Retry()
+	t := now
+	// One outer round per recovery wait; bounded so a permanently dark grid
+	// cannot spin the event loop.
+	for round := 0; round < retry.MaxAttempts; round++ {
+		attempted := false
+		for k, site := range srcs {
+			if !r.inj.Up(site, t) {
+				continue
+			}
+			attempted = true
+			if k > 0 {
+				// Staging moved past the cheapest replica — whether it was
+				// down or its attempts were exhausted.
+				r.res.Failovers++
+			}
+			for attempt := 0; attempt < retry.MaxAttempts; attempt++ {
+				done := fetch(k, t)
+				if done > deadline {
+					r.res.Timeouts++
+					return deadline, false
+				}
+				if !r.inj.TransferFails() {
+					return done, true
+				}
+				r.res.Retries++
+				t = done + retry.Backoff(attempt, r.inj.RNG())
+				if t > deadline {
+					r.res.Timeouts++
+					return deadline, false
+				}
+			}
+		}
+		if attempted {
+			// Every reachable replica exhausted its attempt budget.
+			return t, false
+		}
+		// Grid dark at t: wait for the earliest recovery among the sources.
+		next := math.Inf(1)
+		for _, site := range srcs {
+			if u := r.inj.NextUp(site, t); u < next {
+				next = u
+			}
+		}
+		if math.IsInf(next, 1) {
+			return t, false
+		}
+		if next > deadline {
+			r.res.Timeouts++
+			return deadline, false
+		}
+		t = next
+	}
+	return t, false
+}
+
+// mssStager is the single-archive model (site index 0 in fault scenarios).
+type mssStager struct {
+	sys *mss.System
+	rs  *resilient
+}
+
+var mssOnlySource = []int{0}
+
+func (s *mssStager) stage(now float64, files bundle.Bundle, sizeOf bundle.SizeFunc) (stageOutcome, error) {
+	deadline := s.rs.deadline(now)
+	finish := now
+	for _, f := range files {
+		size := sizeOf(f)
+		at, ok := s.rs.stageFile(now, deadline, mssOnlySource, func(_ int, t float64) float64 {
+			return s.sys.Fetch(t, size)
+		})
+		if !ok {
+			if at < finish {
+				at = finish
+			}
+			return stageOutcome{at: at}, nil
+		}
+		if at > finish {
+			finish = at
+		}
+	}
+	return stageOutcome{at: finish, ok: true}, nil
+}
+
+func (s *mssStager) utilization(h float64) float64 { return s.sys.Utilization(h) }
+
+// gridStager pulls each file from its cheapest reachable replica: the
+// source site's MSS channels queue the read; the WAN hop adds latency +
+// size/bandwidth on top (WAN links are modelled as uncontended). Under
+// faults, staging retries against a source with backoff and fails over
+// along Replicas.RankedSources when a site is down or its attempts are
+// exhausted.
 type gridStager struct {
 	topo  *grid.Topology
 	reps  *grid.Replicas
 	sites []*mss.System // indexed by SiteID
+	rs    *resilient
 }
 
-func newGridStager(cfg *GridConfig) (*gridStager, error) {
+// siteAvailability adapts the injector's per-site schedule (outages,
+// brownouts) to the mss.Availability hook. Link-down windows are handled by
+// the failover walk instead — an unreachable site is skipped, not queued on.
+type siteAvailability struct {
+	inj  *faults.Injector
+	site int
+}
+
+func (a siteAvailability) NextUp(at float64) float64   { return a.inj.SiteNextUp(a.site, at) }
+func (a siteAvailability) Slowdown(at float64) float64 { return a.inj.Slowdown(a.site, at) }
+
+func newGridStager(cfg *GridConfig, rs *resilient, armed bool) (*gridStager, error) {
 	if cfg.Topology == nil || cfg.Replicas == nil {
 		return nil, fmt.Errorf("simulate: GridConfig needs Topology and Replicas")
 	}
-	g := &gridStager{topo: cfg.Topology, reps: cfg.Replicas}
+	g := &gridStager{topo: cfg.Topology, reps: cfg.Replicas, rs: rs}
 	for i := 0; i < cfg.Topology.NumSites(); i++ {
 		site, err := cfg.Topology.Site(grid.SiteID(i))
 		if err != nil {
@@ -85,26 +220,42 @@ func newGridStager(cfg *GridConfig) (*gridStager, error) {
 		if err != nil {
 			return nil, err
 		}
+		if armed {
+			sys.SetAvailability(siteAvailability{inj: rs.inj, site: i})
+		}
 		g.sites = append(g.sites, sys)
 	}
 	return g, nil
 }
 
-func (g *gridStager) stage(now float64, files bundle.Bundle, sizeOf bundle.SizeFunc) (float64, error) {
+func (g *gridStager) stage(now float64, files bundle.Bundle, sizeOf bundle.SizeFunc) (stageOutcome, error) {
+	deadline := g.rs.deadline(now)
 	finish := now
 	for _, f := range files {
 		size := sizeOf(f)
-		src, _, ok := g.reps.BestSource(g.topo, f, size)
-		if !ok {
-			return 0, fmt.Errorf("simulate: no reachable replica for file %d", f)
+		ranked := g.reps.RankedSources(g.topo, f, size)
+		if len(ranked) == 0 {
+			return stageOutcome{}, fmt.Errorf("simulate: no reachable replica for file %d", f)
 		}
-		mssDone := g.sites[src].Fetch(now, size)
-		done := mssDone + g.wanSeconds(src, size)
-		if done > finish {
-			finish = done
+		srcs := make([]int, len(ranked))
+		for i, s := range ranked {
+			srcs[i] = int(s.Site)
+		}
+		at, ok := g.rs.stageFile(now, deadline, srcs, func(k int, t float64) float64 {
+			site := ranked[k].Site
+			return g.sites[site].Fetch(t, size) + g.wanSeconds(site, size)
+		})
+		if !ok {
+			if at < finish {
+				at = finish
+			}
+			return stageOutcome{at: at}, nil
+		}
+		if at > finish {
+			finish = at
 		}
 	}
-	return finish, nil
+	return stageOutcome{at: finish, ok: true}, nil
 }
 
 func (g *gridStager) wanSeconds(from grid.SiteID, size bundle.Size) float64 {
@@ -144,6 +295,15 @@ type EventStats struct {
 	BytesLoaded       bundle.Size
 	MSSUtilization    float64
 	UnservedOversized int64
+
+	// Resilience counts the fault-handling work done during the run
+	// (retries, failovers, timeouts, requeues, failed jobs). All zero in
+	// fault-free runs.
+	Resilience metrics.Resilience
+	// SiteDowntime is per-site unusable seconds (MSS outage or link down)
+	// over [0, Makespan]; nil unless the run was a grid run with faults
+	// armed.
+	SiteDowntime []float64
 }
 
 type eventKind int
@@ -151,6 +311,7 @@ type eventKind int
 const (
 	evArrival eventKind = iota
 	evCompletion
+	evFailed // a job's staging was abandoned; its slot frees and it requeues or fails
 )
 
 type event struct {
@@ -193,19 +354,33 @@ func RunEvents(w *workload.Workload, p policy.Policy, opts EventOptions) (EventS
 	if proc == nil {
 		proc = func(bundle.Bundle) float64 { return 1 }
 	}
+	var scenario faults.Scenario
+	if opts.Faults != nil {
+		scenario = *opts.Faults
+	}
+	inj, err := faults.NewInjector(scenario)
+	if err != nil {
+		return EventStats{}, err
+	}
+	rs := &resilient{inj: inj, budget: inj.Scenario().StageBudgetSec}
+	armed := opts.Faults != nil
 	var archive stager
+	var gridArchive *gridStager
 	if opts.Grid != nil {
-		g, err := newGridStager(opts.Grid)
+		g, err := newGridStager(opts.Grid, rs, armed)
 		if err != nil {
 			return EventStats{}, err
 		}
-		archive = g
+		archive, gridArchive = g, g
 	} else {
 		sys, err := mss.NewSystem(opts.MSS)
 		if err != nil {
 			return EventStats{}, err
 		}
-		archive = mssStager{sys: sys}
+		if armed {
+			sys.SetAvailability(siteAvailability{inj: inj, site: 0})
+		}
+		archive = &mssStager{sys: sys, rs: rs}
 	}
 
 	jobs := w.Jobs
@@ -249,7 +424,15 @@ func RunEvents(w *workload.Workload, p policy.Policy, opts EventOptions) (EventS
 		oversized int64
 		lastDone  float64
 		stageErr  error
+
+		// attempts counts dispatches per job so repeat Admits after a failed
+		// staging don't distort the demand-side stats; restage carries the
+		// files a failed attempt loaded but never finished transferring, so
+		// the retry stages them again even though they look resident.
+		attempts = make([]int, len(jobs))
+		restage  = make(map[int]bundle.Bundle)
 	)
+	maxJobAttempts := inj.Scenario().MaxJobAttempts
 
 	for i := range jobs {
 		heap.Push(&h, event{at: arrivals[i], kind: evArrival, job: i})
@@ -276,23 +459,46 @@ func RunEvents(w *workload.Workload, p policy.Policy, opts EventOptions) (EventS
 
 			b := w.Requests[jobs[j]]
 			res := p.Admit(b)
-			bytesReq += res.BytesRequested
-			bytesMiss += res.BytesLoaded
-			if res.Unserviceable {
-				oversized++
-				continue
+			if attempts[j] == 0 {
+				bytesReq += res.BytesRequested
+				bytesMiss += res.BytesLoaded
+				if res.Unserviceable {
+					oversized++
+					continue
+				}
+				if res.Hit {
+					hits++
+				}
+			} else {
+				// A retried job's demand was already counted; only new miss
+				// traffic (evicted between attempts) adds to the byte flow.
+				bytesMiss += res.BytesLoaded
+				if res.Unserviceable {
+					oversized++
+					continue
+				}
 			}
-			if res.Hit {
-				hits++
+			toStage := res.Loaded
+			if carry, ok := restage[j]; ok {
+				toStage = toStage.Union(carry)
+				delete(restage, j)
 			}
 			staged := now
-			if len(res.Loaded) > 0 {
-				var err error
-				staged, err = archive.stage(now, res.Loaded, sizeOf)
+			if len(toStage) > 0 {
+				out, err := archive.stage(now, toStage, sizeOf)
 				if err != nil {
 					stageErr = err
 					return
 				}
+				if !out.ok {
+					// Staging abandoned: hold the slot until the failure is
+					// discovered, then requeue or fail the job from evFailed.
+					restage[j] = toStage
+					slotsFree--
+					heap.Push(&h, event{at: out.at, kind: evFailed, job: j})
+					continue
+				}
+				staged = out.at
 			}
 			stagings = append(stagings, staged-arrivals[j])
 
@@ -329,6 +535,20 @@ func RunEvents(w *workload.Workload, p policy.Policy, opts EventOptions) (EventS
 				lastDone = e.at
 			}
 			dispatch(e.at)
+		case evFailed:
+			slotsFree++
+			attempts[e.job]++
+			if attempts[e.job] < maxJobAttempts {
+				rs.res.Requeues++
+				waiting = append(waiting, e.job)
+			} else {
+				rs.res.FailedJobs++
+				delete(restage, e.job)
+				if e.at > lastDone {
+					lastDone = e.at
+				}
+			}
+			dispatch(e.at)
 		}
 	}
 
@@ -337,9 +557,16 @@ func RunEvents(w *workload.Workload, p policy.Policy, opts EventOptions) (EventS
 		Makespan:          lastDone,
 		BytesLoaded:       bytesMiss,
 		UnservedOversized: oversized,
+		Resilience:        rs.res,
 	}
 	if stageErr != nil {
 		return EventStats{}, stageErr
+	}
+	if armed && gridArchive != nil {
+		st.SiteDowntime = make([]float64, len(gridArchive.sites))
+		for i := range st.SiteDowntime {
+			st.SiteDowntime[i] = inj.DowntimeSeconds(i, lastDone)
+		}
 	}
 	if lastDone > 0 {
 		st.Throughput = float64(len(responses)) / lastDone

@@ -1,6 +1,7 @@
 package simulate
 
 import (
+	"reflect"
 	"testing"
 
 	"fbcache/internal/mss"
@@ -78,7 +79,7 @@ func TestRunEventsDeterministic(t *testing.T) {
 		return st
 	}
 	a, b := run(), run()
-	if a != b {
+	if !reflect.DeepEqual(a, b) {
 		t.Errorf("nondeterministic event sim:\n%+v\n%+v", a, b)
 	}
 }

@@ -2,10 +2,12 @@ package simulate
 
 import (
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"fbcache/internal/bundle"
 	"fbcache/internal/core"
+	"fbcache/internal/faults"
 	"fbcache/internal/history"
 	"fbcache/internal/policy"
 	"fbcache/internal/policy/classic"
@@ -120,5 +122,91 @@ func TestSoakAllPoliciesAllModes(t *testing.T) {
 		if err := p.Cache().CheckInvariants(); err != nil {
 			t.Fatalf("step %d: %v", i, err)
 		}
+	}
+}
+
+// TestFaultSoak is the fault-schedule stress run: a grid sim under a dense
+// scenario (outages, link-down windows, brownouts, per-transfer failures,
+// staging budgets, requeues) for each policy family. It asserts the event
+// loop terminates, every submitted job is accounted for (completed + failed
+// + oversized), pins are released, and two runs sharing a seed are
+// byte-identical. CI runs it with -tags fbinvariant so the cache's
+// invariant checks are armed throughout.
+func TestFaultSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	spec := workload.DefaultSpec()
+	spec.Jobs = 800
+	spec.NumFiles = 150
+	spec.NumRequests = 90
+	spec.CacheSize = 1 * bundle.GB
+	spec.MaxFilePct = 0.08
+	spec.MaxBundleFrac = 0.5
+	spec.Popularity = workload.Zipf
+	spec.Clusters = 15
+	w, err := workload.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sc := faults.Scenario{
+		Seed:                41,
+		TransferFailureProb: 0.15,
+		Sites: map[int]faults.SiteFaults{
+			0: {
+				Outages:   []faults.Window{{Start: 30, End: 60}, {Start: 200, End: 230}},
+				Brownouts: []faults.Brownout{{Window: faults.Window{Start: 100, End: 180}, Factor: 3}},
+			},
+			1: {
+				Outages:  []faults.Window{{Start: 50, End: 90}},
+				LinkDown: []faults.Window{{Start: 140, End: 170}, {Start: 300, End: 320}},
+			},
+		},
+		Retry:          faults.RetryPolicy{MaxAttempts: 3, BaseDelaySec: 0.5, MaxDelaySec: 10, Multiplier: 2, JitterFrac: 0.25},
+		StageBudgetSec: 120,
+		MaxJobAttempts: 3,
+	}
+
+	factories := map[string]policy.Factory{
+		"opt-cache-resident": policy.OptFileBundleFactory(core.Options{
+			History: history.Config{Truncation: history.CacheResident},
+		}),
+		"landlord": landlord.Factory(),
+		"lru":      classic.LRUFactory(),
+	}
+	for name, mk := range factories {
+		name, mk := name, mk
+		t.Run(name, func(t *testing.T) {
+			run := func() EventStats {
+				p := mk(spec.CacheSize, w.Catalog.SizeFunc())
+				cfg := buildGrid(t, w, func(f bundle.FileID) bool { return f%2 == 0 })
+				st, err := RunEvents(w, p, EventOptions{ArrivalRate: 3, Grid: cfg, Seed: 17, Faults: &sc})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := p.Cache().CheckInvariants(); err != nil {
+					t.Fatal(err)
+				}
+				for _, f := range p.Cache().Resident() {
+					if p.Cache().Pinned(f) {
+						t.Fatalf("leaked pin on %d", f)
+					}
+				}
+				return st
+			}
+			a, b := run(), run()
+			if !reflect.DeepEqual(a, b) {
+				t.Errorf("fault soak not reproducible:\n%+v\n%+v", a, b)
+			}
+			if got := a.Jobs + a.Resilience.FailedJobs + a.UnservedOversized; got != int64(spec.Jobs) {
+				t.Errorf("job accounting: completed %d + failed %d + oversized %d = %d, want %d",
+					a.Jobs, a.Resilience.FailedJobs, a.UnservedOversized, got, spec.Jobs)
+			}
+			if a.Resilience.Retries == 0 {
+				t.Errorf("soak scenario exercised no retries: %v", a.Resilience)
+			}
+			t.Logf("%s: %+v downtime=%v", name, a.Resilience, a.SiteDowntime)
+		})
 	}
 }

@@ -3,9 +3,11 @@ package srm
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"fbcache/internal/bundle"
 )
@@ -35,7 +37,11 @@ type Request struct {
 type Response struct {
 	OK    bool   `json:"ok"`
 	Error string `json:"error,omitempty"`
-	Token string `json:"token,omitempty"`
+	// Retryable marks transient failures (cache saturated with pins): the
+	// client should back off RetryAfterMs and resend the same request.
+	Retryable    bool   `json:"retryable,omitempty"`
+	RetryAfterMs int64  `json:"retry_after_ms,omitempty"`
+	Token        string `json:"token,omitempty"`
 
 	Hit         bool        `json:"hit,omitempty"`
 	BytesLoaded bundle.Size `json:"bytes_loaded,omitempty"`
@@ -51,6 +57,7 @@ type Server struct {
 	mu     sync.Mutex
 	closed bool
 	conns  map[net.Conn]bool
+	wg     sync.WaitGroup // one count per live connection handler
 }
 
 // Serve starts a server on addr (e.g. "127.0.0.1:0") and returns once the
@@ -68,7 +75,8 @@ func Serve(s *SRM, addr string) (*Server, error) {
 // Addr reports the bound address.
 func (srv *Server) Addr() string { return srv.ln.Addr().String() }
 
-// Close stops the listener and closes all connections.
+// Close stops the listener and closes all connections immediately. For a
+// graceful stop that lets in-flight clients finish, use Shutdown.
 func (srv *Server) Close() error {
 	srv.mu.Lock()
 	srv.closed = true
@@ -77,6 +85,40 @@ func (srv *Server) Close() error {
 	}
 	srv.mu.Unlock()
 	return srv.ln.Close()
+}
+
+// Shutdown stops the server gracefully: the listener closes first (no new
+// connections), then in-flight connections get up to drain to finish their
+// requests and disconnect on their own; stragglers are force-closed when the
+// deadline passes. Dropping a connection releases its leases either way, so
+// no bundle stays pinned past Shutdown. Safe to call once.
+func (srv *Server) Shutdown(drain time.Duration) error {
+	srv.mu.Lock()
+	if srv.closed {
+		srv.mu.Unlock()
+		return nil
+	}
+	srv.mu.Unlock()
+
+	err := srv.ln.Close() // stop accepting; acceptLoop exits
+	done := make(chan struct{})
+	go func() {
+		srv.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(drain):
+	}
+
+	srv.mu.Lock()
+	srv.closed = true
+	for c := range srv.conns {
+		_ = c.Close() // drain deadline passed; cut the stragglers loose
+	}
+	srv.mu.Unlock()
+	srv.wg.Wait() // handlers release their leases on the way out
+	return err
 }
 
 func (srv *Server) acceptLoop() {
@@ -92,6 +134,7 @@ func (srv *Server) acceptLoop() {
 			return
 		}
 		srv.conns[conn] = true
+		srv.wg.Add(1)
 		srv.mu.Unlock()
 		go srv.handle(conn)
 	}
@@ -103,6 +146,7 @@ func (srv *Server) handle(conn net.Conn) {
 		delete(srv.conns, conn)
 		srv.mu.Unlock()
 		_ = conn.Close() // handler teardown; the protocol reply already went out
+		srv.wg.Done()
 	}()
 
 	leases := make(map[string]Release)
@@ -144,7 +188,12 @@ func (srv *Server) dispatch(req *Request, leases map[string]Release, nextToken *
 		}
 		rel, res, err := srv.srm.StageNames(req.Files)
 		if err != nil {
-			return Response{Error: err.Error()}
+			resp := Response{Error: err.Error()}
+			if errors.Is(err, ErrBusy) {
+				resp.Retryable = true
+				resp.RetryAfterMs = srv.retryAfterHintMs()
+			}
+			return resp
 		}
 		*nextToken++
 		token := fmt.Sprintf("t%d", *nextToken)
@@ -167,6 +216,19 @@ func (srv *Server) dispatch(req *Request, leases map[string]Release, nextToken *
 	default:
 		return Response{Error: fmt.Sprintf("unknown op %q", req.Op)}
 	}
+}
+
+// retryAfterHintMs suggests how long a busy-rejected client should wait:
+// half the staging deadline (pins turn over on that scale), floored at
+// 100ms, or 500ms when no deadline is configured.
+func (srv *Server) retryAfterHintMs() int64 {
+	if d := srv.srm.StageTimeout(); d > 0 {
+		if ms := d.Milliseconds() / 2; ms >= 100 {
+			return ms
+		}
+		return 100
+	}
+	return 500
 }
 
 // Client is a minimal protocol client.
@@ -193,6 +255,17 @@ func Dial(addr string) (*Client, error) {
 // Close drops the connection, releasing all leases held through it.
 func (c *Client) Close() error { return c.conn.Close() }
 
+// RetryableError is a server rejection the client may retry after waiting
+// RetryAfter (e.g. the cache was saturated with pinned bundles).
+type RetryableError struct {
+	Msg        string
+	RetryAfter time.Duration
+}
+
+func (e *RetryableError) Error() string {
+	return fmt.Sprintf("srm: server (retryable, retry after %v): %s", e.RetryAfter, e.Msg)
+}
+
 func (c *Client) roundTrip(req Request) (Response, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -204,6 +277,12 @@ func (c *Client) roundTrip(req Request) (Response, error) {
 		return Response{}, fmt.Errorf("srm: recv: %w", err)
 	}
 	if resp.Error != "" {
+		if resp.Retryable {
+			return resp, &RetryableError{
+				Msg:        resp.Error,
+				RetryAfter: time.Duration(resp.RetryAfterMs) * time.Millisecond,
+			}
+		}
 		return resp, fmt.Errorf("srm: server: %s", resp.Error)
 	}
 	return resp, nil
@@ -222,6 +301,26 @@ func (c *Client) Stage(files ...string) (token string, hit bool, loaded bundle.S
 		return "", false, 0, err
 	}
 	return resp.Token, resp.Hit, resp.BytesLoaded, nil
+}
+
+// StageRetry is Stage with bounded client-side retries: a RetryableError
+// (server busy) is retried after the server's retry-after hint, up to
+// maxAttempts total tries. Any other error returns immediately.
+func (c *Client) StageRetry(maxAttempts int, files ...string) (token string, hit bool, loaded bundle.Size, err error) {
+	if maxAttempts < 1 {
+		maxAttempts = 1
+	}
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		token, hit, loaded, err = c.Stage(files...)
+		var re *RetryableError
+		if err == nil || !errors.As(err, &re) {
+			return token, hit, loaded, err
+		}
+		if attempt+1 < maxAttempts {
+			time.Sleep(re.RetryAfter)
+		}
+	}
+	return token, hit, loaded, err
 }
 
 // Release releases a staged bundle.

@@ -25,6 +25,11 @@ var ErrTooLarge = errors.New("srm: bundle exceeds cache capacity")
 // ErrClosed reports an SRM that has been shut down.
 var ErrClosed = errors.New("srm: closed")
 
+// ErrBusy reports a stage request that waited out its staging deadline while
+// the cache was saturated with pinned bundles. It is a retryable condition:
+// the wire protocol surfaces it with a retry-after hint.
+var ErrBusy = errors.New("srm: busy: staging deadline exceeded")
+
 // SRM is a thread-safe staging service over a replacement policy.
 type SRM struct {
 	// Immutable after New: cat is internally synchronized and sizeOf is a
@@ -41,7 +46,14 @@ type SRM struct {
 	waiting     int
 	closed      bool
 	col         metrics.Collector
+	res         metrics.Resilience
 	store       *store.Store // optional; see WithStore
+
+	// stageTimeout bounds how long one Stage may block waiting for pinned
+	// capacity; 0 means wait forever. See WithStageTimeout.
+	stageTimeout time.Duration
+	// storeAttempts bounds tries per store operation (>= 1).
+	storeAttempts int
 }
 
 // New builds an SRM over the given policy and catalog. The catalog provides
@@ -51,8 +63,37 @@ func New(pol policy.Policy, cat *bundle.Catalog) *SRM {
 	if pol == nil || cat == nil {
 		panic("srm: nil policy or catalog")
 	}
-	s := &SRM{pol: pol, cat: cat, sizeOf: cat.SizeFunc()}
+	s := &SRM{pol: pol, cat: cat, sizeOf: cat.SizeFunc(), storeAttempts: 3}
 	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// WithStageTimeout sets the per-request staging deadline: a Stage call that
+// cannot pin its bundle within d fails with ErrBusy instead of blocking
+// forever behind other jobs' pins. 0 restores unbounded waiting.
+func (s *SRM) WithStageTimeout(d time.Duration) *SRM {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stageTimeout = d
+	return s
+}
+
+// StageTimeout reports the configured staging deadline (0 = unbounded).
+func (s *SRM) StageTimeout() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stageTimeout
+}
+
+// WithStoreRetries bounds attempts per store operation (default 3). Values
+// below 1 are clamped to 1 (no retries).
+func (s *SRM) WithStoreRetries(attempts int) *SRM {
+	if attempts < 1 {
+		attempts = 1
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.storeAttempts = attempts
 	return s
 }
 
@@ -72,13 +113,30 @@ func (s *SRM) Stage(b bundle.Bundle) (Release, policy.Result, error) {
 		s.col.Record(res)
 		return nil, res, fmt.Errorf("%w: %v > %v", ErrTooLarge, size, s.pol.Cache().Capacity())
 	}
-	for !s.closed && s.pinnedBytes+size > s.pol.Cache().Capacity() {
+	// The deadline is a timer flipping a bool under the mutex rather than a
+	// wall-clock comparison, so no time value flows into SRM state.
+	expired := false
+	if s.stageTimeout > 0 {
+		timer := time.AfterFunc(s.stageTimeout, func() {
+			s.mu.Lock()
+			expired = true
+			s.cond.Broadcast()
+			s.mu.Unlock()
+		})
+		defer timer.Stop()
+	}
+	for !s.closed && !expired && s.pinnedBytes+size > s.pol.Cache().Capacity() {
 		s.waiting++
 		s.cond.Wait()
 		s.waiting--
 	}
 	if s.closed {
 		return nil, policy.Result{}, ErrClosed
+	}
+	if s.pinnedBytes+size > s.pol.Cache().Capacity() {
+		// Deadline passed and capacity still isn't there.
+		s.res.Timeouts++
+		return nil, policy.Result{}, fmt.Errorf("%w (waited %v)", ErrBusy, s.stageTimeout)
 	}
 
 	res := s.pol.Admit(b)
@@ -167,6 +225,9 @@ type Snapshot struct {
 	CacheUsed     bundle.Size
 	CacheCapacity bundle.Size
 	Policy        string
+	// Resilience counts fault-handling events: staging-deadline timeouts and
+	// store-operation retries. All zero on a healthy, uncontended server.
+	Resilience metrics.Resilience
 }
 
 // Stats returns a consistent snapshot of the SRM's metrics.
@@ -184,6 +245,7 @@ func (s *SRM) Stats() Snapshot {
 		CacheUsed:     s.pol.Cache().Used(),
 		CacheCapacity: s.pol.Cache().Capacity(),
 		Policy:        s.pol.Name(),
+		Resilience:    s.res,
 	}
 }
 

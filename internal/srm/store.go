@@ -22,23 +22,42 @@ func (s *SRM) WithStore(st *store.Store) *SRM {
 	return s
 }
 
-// syncStore applies one admission's movements to the attached store.
+// syncStore applies one admission's movements to the attached store. Each
+// operation gets storeAttempts bounded tries — transient filesystem errors
+// (NFS hiccups, contended directories) are retried, persistent ones surface.
 // Called with s.mu held.
 func (s *SRM) syncStore(res policy.Result) error {
 	if s.store == nil {
 		return nil
 	}
 	for _, f := range res.Evicted {
-		if err := s.store.Remove(f); err != nil {
+		f := f
+		if err := s.retryStore(func() error { return s.store.Remove(f) }); err != nil {
 			return fmt.Errorf("srm: store evict %d: %w", f, err)
 		}
 	}
 	for _, f := range res.Loaded {
-		if _, _, err := s.store.Stage(f); err != nil {
+		f := f
+		if err := s.retryStore(func() error { _, _, err := s.store.Stage(f); return err }); err != nil {
 			return fmt.Errorf("srm: store load %d: %w", f, err)
 		}
 	}
 	return nil
+}
+
+// retryStore runs op up to storeAttempts times, counting each repeat in the
+// resilience metrics. Called with s.mu held.
+func (s *SRM) retryStore(op func() error) error {
+	var err error
+	for attempt := 0; attempt < s.storeAttempts; attempt++ {
+		if attempt > 0 {
+			s.res.Retries++
+		}
+		if err = op(); err == nil {
+			return nil
+		}
+	}
+	return err
 }
 
 // OpenStaged returns a reader over a staged file's bytes. Only valid while
