@@ -7,7 +7,7 @@ GO ?= go
 #   make fuzz FUZZTIME=5m
 FUZZTIME ?= 30s
 
-.PHONY: all build test test-invariant lint vet fbvet race bench fuzz soak clean
+.PHONY: all build test test-invariant lint vet fbvet doc-lint race bench bench-guard fuzz soak clean
 
 all: build lint test
 
@@ -25,8 +25,8 @@ test-invariant:
 
 # lint = the stock vet suite plus fbvet, the repo-specific analyzers
 # (mapiter, floateq, lockcheck, sizeunits, ndtaint, errflow, hotalloc,
-# retrybound, allowcheck). Both must be clean; findings are suppressed only
-# by a justified //fbvet:allow directive.
+# retrybound, pkgdoc, allowcheck). Both must be clean; findings are
+# suppressed only by a justified //fbvet:allow directive.
 lint: vet fbvet
 
 vet:
@@ -35,6 +35,12 @@ vet:
 fbvet:
 	$(GO) run ./cmd/fbvet ./...
 
+# doc-lint runs only the documentation contract: every package must carry a
+# package comment (opening "Package <name>" for library packages) stating
+# the paper section it implements and its pipeline role.
+doc-lint:
+	$(GO) run ./cmd/fbvet -run pkgdoc ./...
+
 # race runs the full suite under the race detector, including the dedicated
 # concurrency tests in internal/srm and internal/store.
 race:
@@ -42,6 +48,15 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
+
+# bench-guard runs the no-op-tracer overhead microbenchmarks: the /baseline
+# (no tracer) and /nop (NopTracer installed) variants of the OptCacheSelect
+# and Landlord hot loops must report identical allocs/op — tracing must cost
+# nothing when off. -benchtime=100x keeps it fast enough to gate CI; compare
+# ns/op by eye or with benchstat on a quiet machine.
+bench-guard:
+	$(GO) test -run '^$$' -bench 'BenchmarkOptCacheSelect' -benchmem -benchtime=100x ./internal/core/
+	$(GO) test -run '^$$' -bench 'BenchmarkLandlord$$' -benchmem -benchtime=100x ./internal/policy/landlord/
 
 # fuzz gives each harness FUZZTIME of coverage-guided search on top of the
 # checked-in corpora (testdata/fuzz/...). The Landlord target runs with

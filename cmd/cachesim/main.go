@@ -10,6 +10,14 @@
 //	cachesim -policy landlord -trace run.trace.json
 //	cachesim -policy optfilebundle -queue 100           # Fig 9 discipline
 //	cachesim -policy optfilebundle -events -rate 2
+//	cachesim -trace-out run.jsonl -metrics-out run.prom # JSONL event trace
+//	                                                    # + Prometheus text
+//
+// -trace-out streams one typed event per line (admit, load, evict,
+// select_round, credit_decay, job_served; stage events in -events mode) —
+// deterministic per seed, never wall-clock-stamped. See README.md
+// "Observability" for the event vocabulary and EXPERIMENTS.md for worked
+// examples.
 package main
 
 import (
@@ -23,6 +31,7 @@ import (
 	"fbcache/internal/history"
 	"fbcache/internal/metrics"
 	"fbcache/internal/mss"
+	"fbcache/internal/obs"
 	"fbcache/internal/policy"
 	"fbcache/internal/policy/classic"
 	"fbcache/internal/policy/landlord"
@@ -55,6 +64,8 @@ func main() {
 		mssLatency = flag.Float64("mss-latency", 10, "events: MSS per-transfer latency (s)")
 		mssBW      = flag.Float64("mss-bw-mbps", 50, "events: MSS per-channel bandwidth (MB/s)")
 		mssCh      = flag.Int("mss-channels", 4, "events: MSS transfer channels")
+		traceOut   = flag.String("trace-out", "", "write a JSONL event trace (admits, loads, evicts, select rounds, staging, jobs) to this file; ignored with -compare")
+		metricsOut = flag.String("metrics-out", "", "write the final metrics in Prometheus text format to this file")
 	)
 	flag.Parse()
 
@@ -82,6 +93,25 @@ func main() {
 	}
 	p, opt := buildPolicy(*policyName, capacity, w.Catalog.SizeFunc(), *seed)
 
+	var tracer obs.Tracer
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			die("%v", err)
+		}
+		sink := obs.NewJSONLSink(f)
+		defer func() {
+			if err := sink.Err(); err != nil {
+				die("trace-out: %v", err)
+			}
+			if err := f.Close(); err != nil {
+				die("trace-out: %v", err)
+			}
+		}()
+		tracer = sink
+		installTracer(p, tracer)
+	}
+
 	fmt.Printf("workload: %d files, %d pooled requests, %d jobs, cache %v (~%.1f requests)\n",
 		w.Catalog.Len(), len(w.Requests), len(w.Jobs), capacity, w.CacheSizeInRequests())
 	fmt.Printf("policy: %s\n\n", p.Name())
@@ -97,9 +127,24 @@ func main() {
 				BandwidthBps: *mssBW * 1e6,
 				Channels:     *mssCh,
 			},
+			Tracer: tracer,
 		})
 		if err != nil {
 			die("%v", err)
+		}
+		if *metricsOut != "" {
+			reg := obs.NewRegistry()
+			reg.GaugeFunc("fbcache_sim_hit_ratio",
+				"Request-hit ratio over completed jobs.",
+				func() float64 { return st.HitRatio })
+			reg.GaugeFunc("fbcache_sim_byte_miss_ratio",
+				"Bytes loaded / bytes requested.",
+				func() float64 { return st.ByteMissRatio })
+			reg.CounterFunc("fbcache_sim_bytes_loaded_total",
+				"Total miss traffic in bytes.",
+				func() float64 { return float64(st.BytesLoaded) })
+			metrics.ExportResilience(reg, func() metrics.Resilience { return st.Resilience })
+			writeProm(*metricsOut, reg)
 		}
 		fmt.Printf("jobs completed     %d\n", st.Jobs)
 		fmt.Printf("makespan           %.1f s\n", st.Makespan)
@@ -114,13 +159,18 @@ func main() {
 		return
 	}
 
-	opts := simulate.Options{QueueLength: *queueLen, SeriesInterval: *series}
+	opts := simulate.Options{QueueLength: *queueLen, SeriesInterval: *series, Tracer: tracer}
 	if *queueLen > 1 && opt != nil {
 		opts.Scheduler = queue.ByScore("relative-value", opt.RelativeValue)
 	}
 	col, err := simulate.Run(w, p, opts)
 	if err != nil {
 		die("%v", err)
+	}
+	if *metricsOut != "" {
+		reg := obs.NewRegistry()
+		col.ExportTo(reg)
+		writeProm(*metricsOut, reg)
 	}
 	fmt.Printf("jobs               %d (unserviceable %d)\n", col.Jobs(), col.Unserviceable())
 	fmt.Printf("request hit ratio  %.4f\n", col.HitRatio())
@@ -220,6 +270,31 @@ func runComparison(w *workload.Workload, capacity bundle.Size, seed int64) {
 func printRow(name string, col *metrics.Collector) {
 	fmt.Printf("%-16s %-10.4f %-11.4f %-14v\n",
 		name, col.HitRatio(), col.ByteMissRatio(), bundle.Size(col.BytesPerRequest()))
+}
+
+// installTracer wires a tracer into p: policies with their own emit sites
+// (OptFileBundle, Landlord) install it on themselves and their cache; any
+// other policy still gets per-file Load/Evict events from the cache.
+func installTracer(p policy.Policy, t obs.Tracer) {
+	if st, ok := p.(interface{ SetTracer(obs.Tracer) }); ok {
+		st.SetTracer(t)
+		return
+	}
+	p.Cache().SetTracer(t)
+}
+
+// writeProm writes reg's snapshot in Prometheus text format to path.
+func writeProm(path string, reg *obs.Registry) {
+	f, err := os.Create(path)
+	if err != nil {
+		die("%v", err)
+	}
+	if err := reg.Snapshot().WritePrometheus(f); err != nil {
+		die("metrics-out: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		die("metrics-out: %v", err)
+	}
 }
 
 func die(format string, args ...interface{}) {

@@ -25,6 +25,7 @@ import (
 
 	"fbcache/internal/bundle"
 	"fbcache/internal/experiment"
+	"fbcache/internal/obs"
 	"fbcache/internal/srm"
 	"fbcache/internal/stats"
 	"fbcache/internal/workload"
@@ -43,11 +44,29 @@ func main() {
 		retries    = flag.Int("retries", 1, "client stage attempts when the server answers busy/retryable (1 = no retry)")
 		degraded   = flag.Bool("degraded", false, "run the degraded-mode fault experiment instead of benching a server")
 		csv        = flag.Bool("csv", false, "with -degraded: emit CSV instead of the aligned table")
+		traceOut   = flag.String("trace-out", "", "write a JSONL event trace: simulator events with -degraded, client-observed job records otherwise")
 	)
 	flag.Parse()
 
+	var tracer *obs.JSONLSink
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fail(err)
+		}
+		tracer = obs.NewJSONLSink(f)
+		defer func() {
+			if err := tracer.Err(); err != nil {
+				fail(fmt.Errorf("trace-out: %w", err))
+			}
+			if err := f.Close(); err != nil {
+				fail(fmt.Errorf("trace-out: %w", err))
+			}
+		}()
+	}
+
 	if *degraded {
-		if err := runDegraded(*jobs, *clients, *files, *requests, *cacheGB, *seed, *csv, os.Stdout); err != nil {
+		if err := runDegraded(*jobs, *clients, *files, *requests, *cacheGB, *seed, *csv, tracer, os.Stdout); err != nil {
 			fail(err)
 		}
 		return
@@ -74,7 +93,7 @@ func main() {
 		fail(err)
 	}
 
-	sum, err := runBench(*addr, w, *clients, *jobs, *retries)
+	sum, err := runBench(*addr, w, *clients, *jobs, *retries, tracer)
 	if err != nil {
 		fail(err)
 	}
@@ -84,7 +103,7 @@ func main() {
 // runDegraded runs the serverless degraded-mode experiment and writes the
 // table. jobs is per simulation point; the remaining knobs mirror the bench
 // workload so both modes describe the same traffic.
-func runDegraded(jobs, clients, files, requests int, cacheGB float64, seed int64, csv bool, out *os.File) error {
+func runDegraded(jobs, clients, files, requests int, cacheGB float64, seed int64, csv bool, tracer *obs.JSONLSink, out *os.File) error {
 	cfg := experiment.DefaultConfig()
 	cfg.Seed = seed
 	cfg.Jobs = jobs * clients
@@ -92,6 +111,9 @@ func runDegraded(jobs, clients, files, requests int, cacheGB float64, seed int64
 	cfg.NumRequests = requests
 	cfg.CacheSize = bundle.Size(cacheGB * float64(bundle.GB))
 	cfg.Progress = os.Stderr
+	if tracer != nil {
+		cfg.Tracer = tracer
+	}
 	t, err := cfg.DegradedMode()
 	if err != nil {
 		return err
@@ -114,8 +136,10 @@ type benchSummary struct {
 // runBench registers the workload's files on the server and drives the
 // client fleet. Each client's jobs are a disjoint slice of w.Jobs.
 // stageAttempts >= 2 retries busy/retryable server answers with the
-// server's own retry-after pacing.
-func runBench(addr string, w *workload.Workload, clients, jobsPerClient, stageAttempts int) (*benchSummary, error) {
+// server's own retry-after pacing. tracer, when non-nil, receives one
+// client-observed JobServed record per operation (At is wall seconds since
+// the bench started — this is a live load test, not a simulation).
+func runBench(addr string, w *workload.Workload, clients, jobsPerClient, stageAttempts int, tracer *obs.JSONLSink) (*benchSummary, error) {
 	setup, err := srm.Dial(addr)
 	if err != nil {
 		return nil, err
@@ -158,7 +182,7 @@ func runBench(addr string, w *workload.Workload, clients, jobsPerClient, stageAt
 				}
 				b := w.Requests[w.Jobs[idx]]
 				t0 := time.Now()
-				token, _, _, err := conn.StageRetry(stageAttempts, names(b)...)
+				token, hit, _, err := conn.StageRetry(stageAttempts, names(b)...)
 				if err == nil {
 					err = conn.Release(token)
 				}
@@ -171,6 +195,13 @@ func runBench(addr string, w *workload.Workload, clients, jobsPerClient, stageAt
 					sum.latencies = append(sum.latencies, lat)
 				}
 				mu.Unlock()
+				if tracer != nil && err == nil {
+					tracer.JobServed(obs.JobServedEvent{
+						At: time.Since(start).Seconds(), Job: idx, Hit: hit,
+						ResponseSec:    lat,
+						BytesRequested: int64(b.TotalSize(w.Catalog.SizeFunc())),
+					})
+				}
 			}
 		}(c)
 	}

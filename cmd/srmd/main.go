@@ -6,6 +6,7 @@
 // Server:
 //
 //	srmd -listen :7070 -cache-gb 10
+//	srmd -listen :7070 -debug-addr :7071   # adds /metrics, /debug/vars, /debug/pprof
 //
 // Client:
 //
@@ -19,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -30,6 +32,7 @@ import (
 	"fbcache/internal/bundle"
 	"fbcache/internal/core"
 	"fbcache/internal/history"
+	"fbcache/internal/obs"
 	"fbcache/internal/policy"
 	"fbcache/internal/srm"
 )
@@ -44,9 +47,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("srmd", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		listen   = fs.String("listen", "", "serve on this address (e.g. :7070)")
-		httpAddr = fs.String("http", "", "also serve monitoring stats over HTTP on this address")
-		cacheGB  = fs.Float64("cache-gb", 10, "cache size in GB (server)")
+		listen    = fs.String("listen", "", "serve on this address (e.g. :7070)")
+		httpAddr  = fs.String("http", "", "also serve monitoring stats over HTTP on this address")
+		debugAddr = fs.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
+		cacheGB   = fs.Float64("cache-gb", 10, "cache size in GB (server)")
 		drain    = fs.Duration("drain", 5*time.Second, "graceful-shutdown drain deadline for in-flight connections (server)")
 		connect  = fs.String("connect", "", "act as a client of this server")
 		addfile  = fs.String("addfile", "", "client: register name:sizeBytes")
@@ -60,7 +64,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	switch {
 	case *listen != "":
-		return runServer(*listen, *httpAddr, *cacheGB, *drain, stdout, stderr)
+		return runServer(*listen, *httpAddr, *debugAddr, *cacheGB, *drain, stdout, stderr)
 	case *connect != "":
 		return runClient(*connect, *addfile, *stage, *release, *stats, stdout, stderr)
 	default:
@@ -73,7 +77,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 // delivering a real signal to the test process.
 var testStop chan struct{}
 
-func runServer(addr, httpAddr string, cacheGB float64, drain time.Duration, stdout, stderr io.Writer) int {
+func runServer(addr, httpAddr, debugAddr string, cacheGB float64, drain time.Duration, stdout, stderr io.Writer) int {
 	cat := bundle.NewCatalog()
 	pol := policy.WrapOptFileBundle(core.New(
 		bundle.Size(cacheGB*float64(bundle.GB)), cat.SizeFunc(),
@@ -91,6 +95,25 @@ func runServer(addr, httpAddr string, cacheGB float64, drain time.Duration, stdo
 			fmt.Fprintf(stdout, "srmd: monitoring stats on http://%s/stats\n", httpAddr)
 			if err := http.ListenAndServe(httpAddr, srm.StatsHandler(service)); err != nil {
 				fmt.Fprintf(stderr, "srmd: http: %v\n", err)
+			}
+		}()
+	}
+	if debugAddr != "" {
+		// Listen synchronously so ":0" resolves to a concrete port that can
+		// be announced (the smoke test scrapes it), then serve in background.
+		ln, err := net.Listen("tcp", debugAddr)
+		if err != nil {
+			fmt.Fprintf(stderr, "srmd: debug listener: %v\n", err)
+			if err := server.Shutdown(0); err != nil {
+				fmt.Fprintf(stderr, "srmd: shutdown: %v\n", err)
+			}
+			return 1
+		}
+		fmt.Fprintf(stdout, "srmd: debug endpoints (metrics, vars, pprof) at http://%s/\n", ln.Addr())
+		go func() {
+			if err := http.Serve(ln, obs.DebugMux(srm.NewRegistry(service))); err != nil {
+				// The listener dies with the process; report anything else.
+				fmt.Fprintf(stderr, "srmd: debug http: %v\n", err)
 			}
 		}()
 	}

@@ -2,6 +2,9 @@ package main
 
 import (
 	"bytes"
+	"io"
+	"net/http"
+	"os"
 	"strings"
 	"sync"
 	"testing"
@@ -114,20 +117,29 @@ func TestRunServerGracefulShutdown(t *testing.T) {
 	var out, errOut syncBuffer
 	done := make(chan int, 1)
 	go func() {
-		done <- run([]string{"-listen", "127.0.0.1:0", "-cache-gb", "0.1", "-drain", "2s"}, &out, &errOut)
+		done <- run([]string{
+			"-listen", "127.0.0.1:0", "-debug-addr", "127.0.0.1:0",
+			"-cache-gb", "0.1", "-drain", "2s",
+		}, &out, &errOut)
 	}()
 
-	// The server prints its bound address once listening.
-	var addr string
+	// The server prints its bound addresses once listening.
+	var addr, debugURL string
 	deadline := time.Now().Add(5 * time.Second)
-	for addr == "" {
+	for addr == "" || debugURL == "" {
 		if time.Now().After(deadline) {
-			t.Fatalf("server never announced its address; output: %q %q", out.String(), errOut.String())
+			t.Fatalf("server never announced its addresses; output: %q %q", out.String(), errOut.String())
 		}
-		if s := out.String(); strings.Contains(s, ") on ") {
+		s := out.String()
+		if addr == "" && strings.Contains(s, ") on ") {
 			addr = strings.TrimSpace(s[strings.Index(s, ") on ")+len(") on "):])
 			addr = strings.Fields(addr)[0]
-		} else {
+		}
+		if debugURL == "" && strings.Contains(s, ") at ") {
+			debugURL = strings.TrimSpace(s[strings.Index(s, ") at ")+len(") at "):])
+			debugURL = strings.Fields(debugURL)[0]
+		}
+		if addr == "" || debugURL == "" {
 			time.Sleep(5 * time.Millisecond)
 		}
 	}
@@ -151,6 +163,47 @@ func TestRunServerGracefulShutdown(t *testing.T) {
 		t.Fatal(err)
 	}
 
+	// The acceptance check: a /metrics scrape of the running server is valid
+	// Prometheus text and carries hit-ratio, byte-traffic and resilience
+	// counters reflecting the round trip above.
+	scrape := scrapeMetrics(t, debugURL)
+	for _, want := range []string{
+		"# TYPE fbcache_hit_ratio gauge",
+		"# TYPE fbcache_byte_miss_ratio gauge",
+		"# TYPE fbcache_bytes_loaded_total counter",
+		"fbcache_bytes_loaded_total 1024",
+		"fbcache_jobs_total 1",
+		"fbcache_resilience_retries_total 0",
+		"fbcache_resilience_timeouts_total 0",
+		`fbcache_info{policy="optfilebundle"} 1`,
+	} {
+		if !strings.Contains(scrape, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, scrape)
+		}
+	}
+	// /debug/vars and pprof ride on the same mux.
+	for _, path := range []string{"/debug/vars", "/debug/pprof/cmdline"} {
+		resp, err := http.Get(debugURL + strings.TrimPrefix(path, "/"))
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			t.Fatalf("%s: read: %v", path, err)
+		}
+		if err := resp.Body.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s: status %d", path, resp.StatusCode)
+		}
+	}
+	// CI uploads the scrape as an artifact when this is set.
+	if dest := os.Getenv("SRMD_METRICS_OUT"); dest != "" {
+		if err := os.WriteFile(dest, []byte(scrape), 0o644); err != nil {
+			t.Fatalf("writing metrics artifact: %v", err)
+		}
+	}
+
 	// Trigger the shutdown path (stands in for SIGINT/SIGTERM) and wait for
 	// a clean exit.
 	close(testStop)
@@ -172,6 +225,26 @@ func TestRunServerGracefulShutdown(t *testing.T) {
 	if _, err := srm.Dial(addr); err == nil {
 		t.Error("server still accepting connections after shutdown")
 	}
+}
+
+// scrapeMetrics GETs <base>metrics and returns the body.
+func scrapeMetrics(t *testing.T, base string) string {
+	t.Helper()
+	resp, err := http.Get(base + "metrics")
+	if err != nil {
+		t.Fatalf("scraping /metrics: %v", err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if cerr := resp.Body.Close(); cerr != nil {
+		t.Fatal(cerr)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	return string(body)
 }
 
 func TestRunClientBadInputs(t *testing.T) {

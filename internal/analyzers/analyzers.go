@@ -18,6 +18,9 @@
 //     not allocate per iteration (closures, make, growing append, boxing).
 //   - retrybound: retry loops must be attempt-bounded — an unbounded
 //     `for { retry }` hangs forever on a persistent fault.
+//   - pkgdoc: every package must carry a package documentation comment
+//     (opening "Package <name>" for library packages) stating the paper
+//     section it implements and its pipeline role.
 //   - allowcheck: every //fbvet:allow directive must carry a justification.
 //
 // The suite runs over packages type-checked with the standard library's
@@ -99,7 +102,7 @@ func (d Diagnostic) String() string {
 // flow-sensitive dataflow analyzers (ndtaint, errflow, hotalloc — see
 // dataflow.go) and the allow-directive self-check.
 func All() []*Analyzer {
-	return []*Analyzer{MapIter, FloatEq, LockCheck, SizeUnits, NDTaint, ErrFlow, HotAlloc, RetryBound, AllowCheck}
+	return []*Analyzer{MapIter, FloatEq, LockCheck, SizeUnits, NDTaint, ErrFlow, HotAlloc, RetryBound, PkgDoc, AllowCheck}
 }
 
 // ByName resolves a comma-separated analyzer list ("mapiter,floateq").

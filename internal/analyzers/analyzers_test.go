@@ -152,6 +152,30 @@ func TestErrFlowGolden(t *testing.T)    { runGolden(t, ErrFlow) }
 func TestHotAllocGolden(t *testing.T)   { runGolden(t, HotAlloc) }
 func TestRetryBoundGolden(t *testing.T) { runGolden(t, RetryBound) }
 func TestAllowCheckGolden(t *testing.T) { runGolden(t, AllowCheck) }
+func TestPkgDocGolden(t *testing.T)     { runGolden(t, PkgDoc) }
+
+// TestPkgDocPrefix checks the convention half of pkgdoc: a package whose
+// comment exists but does not open "Package <name>" gets exactly one
+// diagnostic, anchored to the package clause.
+func TestPkgDocPrefix(t *testing.T) {
+	pkg := loadTestdata(t, "pkgdocprefix")
+	diags := Run(pkg, []*Analyzer{PkgDoc})
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want 1: %v", len(diags), diags)
+	}
+	if !strings.Contains(diags[0].Message, `should start with "Package pkgdocprefix"`) {
+		t.Errorf("unexpected message: %s", diags[0].Message)
+	}
+}
+
+// TestPkgDocClean checks the analyzer stays silent on a conventionally
+// documented package.
+func TestPkgDocClean(t *testing.T) {
+	pkg := loadTestdata(t, "pkgdocok")
+	if diags := Run(pkg, []*Analyzer{PkgDoc}); len(diags) != 0 {
+		t.Fatalf("clean package produced diagnostics: %v", diags)
+	}
+}
 
 // TestAllowCheckUnsuppressable proves an unjustified directive cannot allow
 // itself: the testdata contains `fbvet:allow allowcheck` with a want marker,

@@ -1,0 +1,71 @@
+package analyzers
+
+import (
+	"go/ast"
+	"sort"
+	"strings"
+)
+
+// PkgDoc enforces the repository's documentation contract: every package must
+// carry a package documentation comment on a non-test file, and for library
+// packages the comment must open with the canonical "Package <name>" form so
+// `go doc` renders it as the package synopsis. The contract exists because
+// this repo reproduces a paper — each package comment is expected to state
+// which paper section the package implements and where it sits in the
+// simulate → policy → metrics pipeline, and a missing or malformed comment
+// silently drops that map for the next reader.
+//
+// Test files are excluded (a doc comment on foo_test.go documents the test
+// binary, not the package), and main packages are exempt from the prefix rule:
+// their comments conventionally open "Command <name> ..." or lead with the
+// scenario they demonstrate (the examples/ programs).
+var PkgDoc = &Analyzer{
+	Name: "pkgdoc",
+	Doc: "require a package documentation comment on every package, opening " +
+		"with \"Package <name>\" for library packages",
+	Run: runPkgDoc,
+}
+
+func runPkgDoc(pass *Pass) {
+	type src struct {
+		file     *ast.File
+		filename string
+	}
+	var files []src
+	for _, f := range pass.Files {
+		name := pass.Fset.Position(f.Package).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		files = append(files, src{f, name})
+	}
+	if len(files) == 0 {
+		return // test-only package; nothing to document
+	}
+	// Deterministic anchor: diagnostics attach to the alphabetically first
+	// file, matching where readers (and gofmt) expect the doc comment.
+	sort.Slice(files, func(i, j int) bool { return files[i].filename < files[j].filename })
+
+	for _, s := range files {
+		// CommentGroup.Text strips //go:build and other directive-only
+		// comments, so a build-constrained file with no prose still counts
+		// as undocumented.
+		if s.file.Doc == nil || strings.TrimSpace(s.file.Doc.Text()) == "" {
+			continue
+		}
+		if pass.Pkg.Name() == "main" {
+			return
+		}
+		want := "Package " + pass.Pkg.Name() + " "
+		if !strings.HasPrefix(s.file.Doc.Text(), want) {
+			pass.Reportf(s.file.Name.Pos(),
+				"package comment should start with %q so go doc renders a synopsis",
+				strings.TrimSpace(want))
+		}
+		return
+	}
+	pass.Reportf(files[0].file.Name.Pos(),
+		"package %s has no package documentation comment; add one stating the "+
+			"paper section it implements and its role in the pipeline",
+		pass.Pkg.Name())
+}

@@ -1,0 +1,6 @@
+package pkgdoc // want "has no package documentation comment"
+
+// A declares something so the package is non-trivial; the package itself has
+// no documentation comment on any file, which is the violation under test.
+// This comment documents A, not the package (it is attached to the decl).
+var A = 1

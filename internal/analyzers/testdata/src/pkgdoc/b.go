@@ -1,0 +1,8 @@
+// This file also lacks a package doc comment (the comment above `package`
+// here is separated by a blank line, so go/ast does not attach it as Doc).
+
+package pkgdoc
+
+// B exists so the package has more than one file: the diagnostic must attach
+// to the alphabetically first file only, not repeat per file.
+var B = 2

@@ -1,0 +1,7 @@
+// Package pkgdocok is the analyzer's clean fixture: a conventional package
+// comment in the "Package <name> ..." form on a non-test file. pkgdoc must
+// report nothing here.
+package pkgdocok
+
+// D keeps the package non-empty.
+var D = 4

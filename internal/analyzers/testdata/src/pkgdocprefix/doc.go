@@ -1,0 +1,7 @@
+// Helpers for things. This comment is attached to the package clause but
+// does not open with the canonical "Package pkgdocprefix" form, so go doc
+// renders no synopsis for it.
+package pkgdocprefix // want "should start with"
+
+// C keeps the package non-empty.
+var C = 3

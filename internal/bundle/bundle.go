@@ -1,10 +1,12 @@
 // Package bundle defines the basic vocabulary of the file-bundle caching
-// problem: files with sizes, bundles (the set of files a job must have in
-// cache simultaneously), and requests (a bundle plus an importance value).
+// problem (§1.1, §2): files with sizes, bundles (the set of files a job must
+// have in cache simultaneously), and requests (a bundle plus an importance
+// value). Every other package — history, cache, the policies, the
+// simulators — speaks in these types.
 //
 // A Bundle is stored in canonical form — sorted, duplicate-free — so that two
 // jobs asking for the same set of files compare equal and share one history
-// entry, exactly as the L(R) structure in the paper requires.
+// entry, exactly as the L(R) structure of §3 requires.
 package bundle
 
 import (

@@ -1,8 +1,12 @@
-// Package cache models the SRM's staging disk: a byte-capacity store of
-// whole files. It tracks residency, pin counts (files a running job must not
-// lose), and cumulative traffic counters. Replacement *policy* lives
-// elsewhere (internal/core, internal/policy); this package only enforces the
-// mechanics — capacity, residency, and pinning invariants.
+// Package cache models the SRM's staging disk (§1.1): a byte-capacity store
+// of whole files. It tracks residency, pin counts (files a running job must
+// not lose), and cumulative traffic counters — the raw material of the §1.2
+// byte miss ratio. Replacement *policy* lives elsewhere (internal/core,
+// internal/policy); this package only enforces the mechanics — capacity,
+// residency, and pinning invariants. When a tracer is installed it also
+// emits one obs.LoadEvent/obs.EvictEvent per residency change, which gives
+// every policy — including the classic baselines — a replayable trace for
+// free.
 package cache
 
 import (
@@ -11,6 +15,7 @@ import (
 
 	"fbcache/internal/bundle"
 	"fbcache/internal/invariant"
+	"fbcache/internal/obs"
 )
 
 // Cache is a fixed-capacity store of whole files. Not safe for concurrent
@@ -26,6 +31,11 @@ type Cache struct {
 	bytesEvicted bundle.Size
 	loads        int64
 	evictions    int64
+
+	// tracer, when non-nil, receives a Load/Evict event per file movement.
+	// Events are stamped with the load/eviction ordinal — the cache has no
+	// clock of any kind.
+	tracer obs.Tracer
 }
 
 // New returns an empty cache with the given capacity in bytes.
@@ -40,6 +50,11 @@ func New(capacity bundle.Size) *Cache {
 		pins:     make(map[bundle.FileID]int),
 	}
 }
+
+// SetTracer installs t (nil disables tracing). Every Insert emits a
+// LoadEvent and every Evict an EvictEvent, regardless of which policy drove
+// the movement — classic policies get per-file tracing for free.
+func (c *Cache) SetTracer(t obs.Tracer) { c.tracer = t }
 
 // Capacity reports the total capacity in bytes.
 func (c *Cache) Capacity() bundle.Size { return c.capacity }
@@ -121,6 +136,9 @@ func (c *Cache) Insert(f bundle.FileID, size bundle.Size) error {
 	c.used += size
 	c.bytesLoaded += size
 	c.loads++
+	if c.tracer != nil {
+		c.tracer.Load(obs.LoadEvent{At: float64(c.loads), File: int64(f), Bytes: int64(size)})
+	}
 	if invariant.Enabled {
 		invariant.Check(c.used >= 0 && c.used <= c.capacity,
 			"cache: after Insert(%d, %d): used %d outside [0, capacity %d]",
@@ -142,6 +160,9 @@ func (c *Cache) Evict(f bundle.FileID) error {
 	c.used -= size
 	c.bytesEvicted += size
 	c.evictions++
+	if c.tracer != nil {
+		c.tracer.Evict(obs.EvictEvent{At: float64(c.evictions), File: int64(f), Bytes: int64(size)})
+	}
 	if invariant.Enabled {
 		invariant.Check(c.used >= 0 && c.used <= c.capacity,
 			"cache: after Evict(%d): used %d outside [0, capacity %d]",

@@ -1,0 +1,40 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"fbcache/internal/bundle"
+	"fbcache/internal/obs"
+)
+
+// BenchmarkOptCacheSelect measures the Admit hot loop (history update,
+// OptCacheSelect round, eviction) with and without a tracer installed. The
+// /baseline and /nop variants must be within noise of each other: the emit
+// sites are a nil-interface check when untraced and event structs are built
+// only inside that guard, so the no-op tracer's cost is seven empty dynamic
+// calls per admission. CI's bench-guard job runs this to keep it true.
+func BenchmarkOptCacheSelect(b *testing.B) {
+	run := func(b *testing.B, tracer obs.Tracer) {
+		rng := rand.New(rand.NewSource(7))
+		p := New(1000, unitSize, Options{})
+		if tracer != nil {
+			p.SetTracer(tracer)
+		}
+		bundles := make([]bundle.Bundle, 256)
+		for i := range bundles {
+			ids := make([]bundle.FileID, 1+rng.Intn(5))
+			for j := range ids {
+				ids[j] = bundle.FileID(rng.Intn(2000))
+			}
+			bundles[i] = bundle.New(ids...)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p.Admit(bundles[i%len(bundles)])
+		}
+	}
+	b.Run("baseline", func(b *testing.B) { run(b, nil) })
+	b.Run("nop", func(b *testing.B) { run(b, obs.NopTracer{}) })
+}

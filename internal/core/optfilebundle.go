@@ -10,6 +10,7 @@ import (
 	"fbcache/internal/floats"
 	"fbcache/internal/history"
 	"fbcache/internal/invariant"
+	"fbcache/internal/obs"
 )
 
 // Options configures an OptFileBundle policy instance.
@@ -83,6 +84,11 @@ type OptFileBundle struct {
 	prefetchFiles    int
 	prefetched       []bundle.FileID
 	admissions       int64
+
+	// tracer, when non-nil, receives an AdmitEvent per Admit and a
+	// SelectRoundEvent per OptCacheSelect run, stamped with the admission
+	// ordinal (the policy has no clock).
+	tracer obs.Tracer
 }
 
 // New builds an OptFileBundle policy over a fresh cache of the given
@@ -129,6 +135,30 @@ func (p *OptFileBundle) Name() string {
 // tests).
 func (p *OptFileBundle) Cache() *cache.Cache { return p.cache }
 
+// SetTracer installs t on the policy and its cache (nil disables tracing).
+// The policy emits Admit and SelectRound events; the cache emits per-file
+// Load and Evict events.
+func (p *OptFileBundle) SetTracer(t obs.Tracer) {
+	p.tracer = t
+	p.cache.SetTracer(t)
+}
+
+// emitAdmit publishes one AdmitEvent for res, stamped with the admission
+// ordinal (Admit bumps it via maybeDecay before returning).
+func (p *OptFileBundle) emitAdmit(res Result, files int) {
+	p.tracer.Admit(obs.AdmitEvent{
+		At:             float64(p.admissions),
+		Policy:         p.Name(),
+		Files:          files,
+		BytesRequested: int64(res.BytesRequested),
+		BytesLoaded:    int64(res.BytesLoaded),
+		FilesLoaded:    res.FilesLoaded,
+		FilesEvicted:   res.FilesEvicted,
+		Hit:            res.Hit,
+		Unserviceable:  res.Unserviceable,
+	})
+}
+
 // History exposes the underlying L(R) structure.
 func (p *OptFileBundle) History() *history.History { return p.hist }
 
@@ -143,6 +173,9 @@ func (p *OptFileBundle) Admit(b bundle.Bundle) Result {
 		res.Unserviceable = true
 		p.hist.Observe(b) // the request still informs popularity
 		p.maybeDecay()
+		if p.tracer != nil {
+			p.emitAdmit(res, len(b))
+		}
 		return res
 	}
 
@@ -150,6 +183,9 @@ func (p *OptFileBundle) Admit(b bundle.Bundle) Result {
 		res.Hit = true
 		p.hist.Observe(b)
 		p.maybeDecay()
+		if p.tracer != nil {
+			p.emitAdmit(res, len(b))
+		}
 		return res
 	}
 
@@ -194,6 +230,9 @@ func (p *OptFileBundle) Admit(b bundle.Bundle) Result {
 	// Step 4: update L(R) after the replacement decision, as printed.
 	p.hist.Observe(b)
 	p.maybeDecay()
+	if p.tracer != nil {
+		p.emitAdmit(res, len(b))
+	}
 	return res
 }
 
@@ -304,10 +343,27 @@ func (p *OptFileBundle) runSelection(b bundle.Bundle) Selection {
 		Free:     b,
 	}
 	budget := p.cache.Capacity() - b.TotalSize(p.sizeOf)
+	var sel Selection
 	if p.opts.SeedK > 0 {
-		return SelectSeeded(cands, budget, p.opts.SeedK, opts)
+		sel = SelectSeeded(cands, budget, p.opts.SeedK, opts)
+	} else {
+		sel = Select(cands, budget, opts)
 	}
-	return Select(cands, budget, opts)
+	if p.tracer != nil {
+		// maybeDecay has not bumped the ordinal yet for this admission;
+		// +1 keeps the round and its AdmitEvent on the same stamp.
+		p.tracer.SelectRound(obs.SelectRoundEvent{
+			At:           float64(p.admissions + 1),
+			Candidates:   len(cands),
+			Chosen:       len(sel.Chosen),
+			Files:        len(sel.Files),
+			Value:        sel.Value,
+			Budget:       int64(budget),
+			BudgetUsed:   int64(sel.BudgetUsed),
+			SingleWinner: sel.SingleWinner,
+		})
+	}
+	return sel
 }
 
 // RelativeValue scores a pending request for queue scheduling (§5.2

@@ -68,6 +68,7 @@ func (c Config) DegradedMode() (*Table, error) {
 				MSS:         archive,
 				Seed:        c.Seed,
 				Faults:      &sc,
+				Tracer:      c.Tracer,
 			})
 			if err != nil {
 				return nil, err

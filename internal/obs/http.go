@@ -1,0 +1,53 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+)
+
+// PromHandler serves the registry in Prometheus text exposition format.
+func PromHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		// ResponseWriter errors mean the client went away; nothing to do.
+		_ = r.Snapshot().WritePrometheus(w)
+	})
+}
+
+// VarsHandler serves the registry as an expvar-style JSON object keyed by
+// metric name. json.Marshal sorts map keys, so the document is deterministic.
+func VarsHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		snap := r.Snapshot()
+		vars := make(map[string]Metric, len(snap.Metrics))
+		for _, m := range snap.Metrics {
+			vars[m.Name] = m
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(vars)
+	})
+}
+
+// DebugMux bundles the debug surface served behind srmd's -debug-addr flag:
+//
+//	/metrics      Prometheus text format
+//	/debug/vars   expvar-style JSON
+//	/debug/pprof  CPU, heap, goroutine, block, mutex profiles
+//
+// pprof handlers are mounted explicitly rather than via the net/http/pprof
+// side-effect import so they never leak onto http.DefaultServeMux (which the
+// main service listener could otherwise expose).
+func DebugMux(r *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", PromHandler(r))
+	mux.Handle("/debug/vars", VarsHandler(r))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format (version 0.0.4), hand-rolled so the layer stays dependency-free.
+// Metrics sharing a family (same name before the label block) emit one
+// HELP/TYPE header; histograms expand to _bucket/_sum/_count series with
+// cumulative le labels.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	lastFamily := ""
+	for _, m := range s.Metrics {
+		family, labels := splitName(m.Name)
+		if family != lastFamily {
+			if m.Help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", family, escapeHelp(m.Help)); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", family, m.Kind); err != nil {
+				return err
+			}
+			lastFamily = family
+		}
+		if m.Kind != KindHistogram {
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", family, labels, formatFloat(m.Value)); err != nil {
+				return err
+			}
+			continue
+		}
+		for _, b := range m.Buckets {
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+				family, withLabel(labels, "le", formatFloat(b.UpperBound)), b.Count); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", family, labels, formatFloat(m.Sum)); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_count%s %d\n", family, labels, m.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// formatFloat renders a float the way Prometheus expects: shortest exact
+// decimal, with infinities spelled +Inf/-Inf.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// withLabel merges one extra label into an existing (possibly empty) label
+// block: withLabel(`{a="b"}`, "le", "5") → `{a="b",le="5"}`.
+func withLabel(block, key, value string) string {
+	pair := key + `="` + value + `"`
+	if block == "" {
+		return "{" + pair + "}"
+	}
+	return block[:len(block)-1] + "," + pair + "}"
+}
+
+// escapeHelp flattens newlines and backslashes per the exposition format.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

@@ -1,0 +1,398 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind classifies a metric.
+type Kind uint8
+
+const (
+	// KindCounter is a monotonically non-decreasing value.
+	KindCounter Kind = iota
+	// KindGauge is a value that can go up and down.
+	KindGauge
+	// KindHistogram is a fixed-bucket distribution of observations.
+	KindHistogram
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// MarshalJSON renders the kind as its lowercase name ("counter", "gauge",
+// "histogram") so /debug/vars output is self-describing.
+func (k Kind) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + k.String() + `"`), nil
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (k *Kind) UnmarshalJSON(data []byte) error {
+	switch string(data) {
+	case `"counter"`:
+		*k = KindCounter
+	case `"gauge"`:
+		*k = KindGauge
+	case `"histogram"`:
+		*k = KindHistogram
+	default:
+		return fmt.Errorf("obs: unknown metric kind %s", data)
+	}
+	return nil
+}
+
+// Counter is a monotonically non-decreasing int64. Safe for concurrent use.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n; negative deltas panic — a counter only goes up.
+func (c *Counter) Add(n int64) {
+	if n < 0 {
+		panic(fmt.Sprintf("obs: counter decremented by %d", n))
+	}
+	c.v.Add(n)
+}
+
+// Value reports the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a float64 that can move in both directions. Safe for concurrent
+// use.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add shifts the value by d.
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
+}
+
+// Value reports the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket distribution. Bucket layouts are chosen at
+// registration and never change, so snapshots from the same registry are
+// always comparable. Safe for concurrent use.
+type Histogram struct {
+	bounds  []float64 // sorted upper bounds; an implicit +Inf bucket follows
+	counts  []atomic.Int64
+	count   atomic.Int64
+	sumBits atomic.Uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Count reports the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum reports the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// LinearBuckets returns n upper bounds start, start+width, ...
+func LinearBuckets(start, width float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start + float64(i)*width
+	}
+	return out
+}
+
+// ExpBuckets returns n upper bounds start, start*factor, start*factor², ...
+func ExpBuckets(start, factor float64, n int) []float64 {
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// DefSecondsBuckets is a general-purpose layout for durations in seconds
+// (sim-time or otherwise), 5ms to 100s.
+func DefSecondsBuckets() []float64 {
+	return []float64{.005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10, 25, 50, 100}
+}
+
+// metric is one registered instrument.
+type metric struct {
+	name string // may carry a {label="value",...} suffix
+	help string
+	kind Kind
+
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+	fn      func() float64 // func-backed counter or gauge; read at snapshot
+}
+
+// Registry holds named instruments and produces deterministic snapshots.
+// Registration typically happens once at setup; instruments themselves are
+// lock-free. The registry never reads the wall clock.
+type Registry struct {
+	mu      sync.RWMutex
+	metrics map[string]*metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: make(map[string]*metric)}
+}
+
+// register validates and stores m, panicking on duplicate or invalid names:
+// instrument registration is setup code, and a misnamed metric is a
+// programming error best caught at boot, not at scrape time.
+func (r *Registry) register(m *metric) {
+	if err := checkName(m.name); err != nil {
+		panic(fmt.Sprintf("obs: %v", err))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.metrics[m.name]; dup {
+		panic(fmt.Sprintf("obs: duplicate metric %q", m.name))
+	}
+	r.metrics[m.name] = m
+}
+
+// checkName enforces the Prometheus exposition grammar: a metric family
+// [a-zA-Z_:][a-zA-Z0-9_:]* optionally followed by a {label="value",...}
+// block (emitted verbatim).
+func checkName(name string) error {
+	family, labels := splitName(name)
+	if family == "" {
+		return fmt.Errorf("empty metric name")
+	}
+	for i, c := range family {
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return fmt.Errorf("invalid metric name %q", name)
+		}
+	}
+	if labels != "" && (labels[0] != '{' || labels[len(labels)-1] != '}') {
+		return fmt.Errorf("malformed label block in %q", name)
+	}
+	return nil
+}
+
+// splitName separates a registered name into family and label block.
+func splitName(name string) (family, labels string) {
+	for i, c := range name {
+		if c == '{' {
+			return name[:i], name[i:]
+		}
+	}
+	return name, ""
+}
+
+// NewCounter registers and returns a counter.
+func (r *Registry) NewCounter(name, help string) *Counter {
+	c := &Counter{}
+	r.register(&metric{name: name, help: help, kind: KindCounter, counter: c})
+	return c
+}
+
+// NewGauge registers and returns a gauge.
+func (r *Registry) NewGauge(name, help string) *Gauge {
+	g := &Gauge{}
+	r.register(&metric{name: name, help: help, kind: KindGauge, gauge: g})
+	return g
+}
+
+// NewHistogram registers and returns a histogram with the given upper
+// bounds (sorted ascending; an implicit +Inf bucket is appended).
+func (r *Registry) NewHistogram(name, help string, bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		panic(fmt.Sprintf("obs: histogram %q needs at least one bucket bound", name))
+	}
+	if !sort.Float64sAreSorted(bounds) {
+		panic(fmt.Sprintf("obs: histogram %q bounds not sorted", name))
+	}
+	h := &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+	r.register(&metric{name: name, help: help, kind: KindHistogram, hist: h})
+	return h
+}
+
+// CounterFunc registers a counter whose value is read from fn at snapshot
+// time. fn must be monotone and safe for concurrent calls; use it to expose
+// counters that live behind another component's lock (e.g. srm.Snapshot).
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	r.register(&metric{name: name, help: help, kind: KindCounter, fn: fn})
+}
+
+// GaugeFunc registers a gauge read from fn at snapshot time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.register(&metric{name: name, help: help, kind: KindGauge, fn: fn})
+}
+
+// Bucket is one cumulative histogram bucket in a snapshot.
+type Bucket struct {
+	// UpperBound is the bucket's inclusive upper bound; +Inf for the last.
+	UpperBound float64 `json:"-"`
+	// Count is the cumulative number of observations ≤ UpperBound.
+	Count int64 `json:"count"`
+}
+
+// bucketJSON carries the bound as a string — encoding/json rejects the +Inf
+// float the last bucket always holds.
+type bucketJSON struct {
+	UpperBound string `json:"le"`
+	Count      int64  `json:"count"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (b Bucket) MarshalJSON() ([]byte, error) {
+	return json.Marshal(bucketJSON{UpperBound: formatFloat(b.UpperBound), Count: b.Count})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (b *Bucket) UnmarshalJSON(data []byte) error {
+	var bj bucketJSON
+	if err := json.Unmarshal(data, &bj); err != nil {
+		return err
+	}
+	ub, err := strconv.ParseFloat(bj.UpperBound, 64)
+	if err != nil {
+		return err
+	}
+	b.UpperBound = ub
+	b.Count = bj.Count
+	return nil
+}
+
+// Metric is one instrument's state at snapshot time.
+type Metric struct {
+	Name string `json:"name"`
+	Help string `json:"help,omitempty"`
+	Kind Kind   `json:"kind"`
+	// Value carries counters (as float64) and gauges.
+	Value float64 `json:"value"`
+	// Buckets, Sum and Count carry histograms.
+	Buckets []Bucket `json:"buckets,omitempty"`
+	Sum     float64  `json:"sum,omitempty"`
+	Count   int64    `json:"count,omitempty"`
+}
+
+// Snapshot is a point-in-time copy of every registered metric, sorted by
+// name. Two snapshots of the same registry always list the same metrics in
+// the same order, so diffs and golden tests are stable.
+type Snapshot struct {
+	Metrics []Metric `json:"metrics"`
+}
+
+// Snapshot captures the current value of every metric.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.RLock()
+	metrics := make([]*metric, 0, len(r.metrics))
+	for _, m := range r.metrics {
+		metrics = append(metrics, m)
+	}
+	r.mu.RUnlock()
+	sort.Slice(metrics, func(i, j int) bool { return metrics[i].name < metrics[j].name })
+
+	out := Snapshot{Metrics: make([]Metric, 0, len(metrics))}
+	for _, m := range metrics {
+		s := Metric{Name: m.name, Help: m.help, Kind: m.kind}
+		switch {
+		case m.fn != nil:
+			s.Value = m.fn()
+		case m.counter != nil:
+			s.Value = float64(m.counter.Value())
+		case m.gauge != nil:
+			s.Value = m.gauge.Value()
+		case m.hist != nil:
+			h := m.hist
+			s.Sum = h.Sum()
+			s.Count = h.Count()
+			s.Buckets = make([]Bucket, len(h.bounds)+1)
+			cum := int64(0)
+			for i := range h.counts {
+				cum += h.counts[i].Load()
+				ub := math.Inf(1)
+				if i < len(h.bounds) {
+					ub = h.bounds[i]
+				}
+				s.Buckets[i] = Bucket{UpperBound: ub, Count: cum}
+			}
+		}
+		out.Metrics = append(out.Metrics, s)
+	}
+	return out
+}
+
+// Get finds a metric by name.
+func (s Snapshot) Get(name string) (Metric, bool) {
+	i := sort.Search(len(s.Metrics), func(i int) bool { return s.Metrics[i].Name >= name })
+	if i < len(s.Metrics) && s.Metrics[i].Name == name {
+		return s.Metrics[i], true
+	}
+	return Metric{}, false
+}
+
+// Delta returns s with every counter and histogram reduced by its value in
+// prev (gauges pass through unchanged): the activity between the two
+// snapshots. Metrics absent from prev are returned as-is.
+func (s Snapshot) Delta(prev Snapshot) Snapshot {
+	out := Snapshot{Metrics: make([]Metric, len(s.Metrics))}
+	copy(out.Metrics, s.Metrics)
+	for i := range out.Metrics {
+		m := &out.Metrics[i]
+		p, ok := prev.Get(m.Name)
+		if !ok || m.Kind == KindGauge {
+			continue
+		}
+		m.Value -= p.Value
+		if m.Kind == KindHistogram {
+			m.Sum -= p.Sum
+			m.Count -= p.Count
+			m.Buckets = append([]Bucket(nil), m.Buckets...)
+			for j := range m.Buckets {
+				if j < len(p.Buckets) {
+					m.Buckets[j].Count -= p.Buckets[j].Count
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,242 @@
+package obs
+
+import (
+	"math"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("obs_test_total", "test counter")
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*per {
+		t.Fatalf("counter = %d, want %d", got, workers*per)
+	}
+}
+
+func TestGaugeConcurrentAdd(t *testing.T) {
+	r := NewRegistry()
+	g := r.NewGauge("obs_test_gauge", "test gauge")
+	const workers, per = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				g.Add(0.5)
+			}
+		}()
+	}
+	wg.Wait()
+	// 0.5 is exactly representable, so the CAS loop sums exactly.
+	if got, want := g.Value(), float64(workers*per)*0.5; got != want {
+		t.Fatalf("gauge = %g, want %g", got, want)
+	}
+}
+
+func TestCounterNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on negative counter add")
+		}
+	}()
+	(&Counter{}).Add(-1)
+}
+
+func TestHistogramBucketEdges(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("obs_test_seconds", "edges", []float64{1, 2, 5})
+	// Upper bounds are inclusive (Prometheus le semantics).
+	for _, v := range []float64{0.5, 1, 1.0000001, 2, 4.9, 5, 5.1, 100} {
+		h.Observe(v)
+	}
+	snap := r.Snapshot()
+	m, ok := snap.Get("obs_test_seconds")
+	if !ok {
+		t.Fatal("histogram missing from snapshot")
+	}
+	wantCum := []int64{2, 4, 6, 8} // ≤1: {0.5,1}; ≤2: +{1.0000001,2}; ≤5: +{4.9,5}; +Inf: +{5.1,100}
+	if len(m.Buckets) != len(wantCum) {
+		t.Fatalf("bucket count = %d, want %d", len(m.Buckets), len(wantCum))
+	}
+	for i, b := range m.Buckets {
+		if b.Count != wantCum[i] {
+			t.Errorf("bucket[%d] (le=%g) = %d, want %d", i, b.UpperBound, b.Count, wantCum[i])
+		}
+	}
+	if !math.IsInf(m.Buckets[len(m.Buckets)-1].UpperBound, 1) {
+		t.Errorf("last bucket bound = %g, want +Inf", m.Buckets[len(m.Buckets)-1].UpperBound)
+	}
+	if m.Count != 8 {
+		t.Errorf("count = %d, want 8", m.Count)
+	}
+	if want := 0.5 + 1 + 1.0000001 + 2 + 4.9 + 5 + 5.1 + 100; m.Sum != want {
+		t.Errorf("sum = %g, want %g", m.Sum, want)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("obs_test_conc", "concurrent", []float64{10})
+	const workers, per = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(float64(w%2) * 20) // half below 10, half above
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := h.Count(); got != workers*per {
+		t.Fatalf("count = %d, want %d", got, workers*per)
+	}
+	m, _ := r.Snapshot().Get("obs_test_conc")
+	if m.Buckets[0].Count != workers*per/2 || m.Buckets[1].Count != workers*per {
+		t.Fatalf("cumulative buckets = %+v", m.Buckets)
+	}
+}
+
+func TestSnapshotDeterministicOrder(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("zeta_total", "")
+	r.NewGauge("alpha", "")
+	r.NewHistogram("mid_seconds", "", []float64{1})
+	a, b := r.Snapshot(), r.Snapshot()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("back-to-back snapshots differ")
+	}
+	names := make([]string, len(a.Metrics))
+	for i, m := range a.Metrics {
+		names[i] = m.Name
+	}
+	want := []string{"alpha", "mid_seconds", "zeta_total"}
+	if !reflect.DeepEqual(names, want) {
+		t.Fatalf("order = %v, want %v", names, want)
+	}
+}
+
+func TestDelta(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("c_total", "")
+	g := r.NewGauge("g", "")
+	h := r.NewHistogram("h_seconds", "", []float64{1, 10})
+	c.Add(3)
+	g.Set(7)
+	h.Observe(0.5)
+	prev := r.Snapshot()
+	c.Add(2)
+	g.Set(4)
+	h.Observe(5)
+	h.Observe(0.1)
+	d := r.Snapshot().Delta(prev)
+
+	if m, _ := d.Get("c_total"); m.Value != 2 {
+		t.Errorf("counter delta = %g, want 2", m.Value)
+	}
+	if m, _ := d.Get("g"); m.Value != 4 {
+		t.Errorf("gauge in delta = %g, want current value 4", m.Value)
+	}
+	m, _ := d.Get("h_seconds")
+	if m.Count != 2 || m.Sum != 5.1 {
+		t.Errorf("histogram delta count=%d sum=%g, want 2 and 5.1", m.Count, m.Sum)
+	}
+	wantCum := []int64{1, 2, 2} // new obs: 0.1 (≤1), 5 (≤10)
+	for i, b := range m.Buckets {
+		if b.Count != wantCum[i] {
+			t.Errorf("delta bucket[%d] = %d, want %d", i, b.Count, wantCum[i])
+		}
+	}
+	// Delta must not mutate the source snapshots' bucket slices.
+	if m2, _ := r.Snapshot().Get("h_seconds"); m2.Buckets[2].Count != 3 {
+		t.Errorf("source snapshot mutated: %+v", m2.Buckets)
+	}
+}
+
+func TestFuncMetrics(t *testing.T) {
+	r := NewRegistry()
+	n := 0.0
+	r.CounterFunc("fn_total", "", func() float64 { return n })
+	r.GaugeFunc("fn_gauge", "", func() float64 { return -n })
+	n = 5
+	s := r.Snapshot()
+	if m, _ := s.Get("fn_total"); m.Value != 5 {
+		t.Errorf("CounterFunc = %g, want 5", m.Value)
+	}
+	if m, _ := s.Get("fn_gauge"); m.Value != -5 {
+		t.Errorf("GaugeFunc = %g, want -5", m.Value)
+	}
+}
+
+func TestRegisterPanics(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func(r *Registry)
+	}{
+		{"duplicate", func(r *Registry) {
+			r.NewCounter("dup_total", "")
+			r.NewCounter("dup_total", "")
+		}},
+		{"empty name", func(r *Registry) { r.NewCounter("", "") }},
+		{"bad char", func(r *Registry) { r.NewCounter("has space", "") }},
+		{"leading digit", func(r *Registry) { r.NewCounter("9lives", "") }},
+		{"malformed labels", func(r *Registry) { r.NewCounter(`x{a="b"`, "") }},
+		{"empty buckets", func(r *Registry) { r.NewHistogram("h", "", nil) }},
+		{"unsorted buckets", func(r *Registry) { r.NewHistogram("h", "", []float64{5, 1}) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", tc.name)
+				}
+			}()
+			tc.fn(NewRegistry())
+		})
+	}
+}
+
+func TestLabeledNamesAccepted(t *testing.T) {
+	r := NewRegistry()
+	r.NewGauge(`fbcache_info{policy="opt"}`, "info")
+	if _, ok := r.Snapshot().Get(`fbcache_info{policy="opt"}`); !ok {
+		t.Fatal("labeled metric missing from snapshot")
+	}
+}
+
+func TestBucketHelpers(t *testing.T) {
+	if got, want := LinearBuckets(1, 2, 3), []float64{1, 3, 5}; !reflect.DeepEqual(got, want) {
+		t.Errorf("LinearBuckets = %v, want %v", got, want)
+	}
+	if got, want := ExpBuckets(1, 10, 3), []float64{1, 10, 100}; !reflect.DeepEqual(got, want) {
+		t.Errorf("ExpBuckets = %v, want %v", got, want)
+	}
+	if b := DefSecondsBuckets(); !sortedFloats(b) {
+		t.Errorf("DefSecondsBuckets not sorted: %v", b)
+	}
+}
+
+func sortedFloats(v []float64) bool {
+	for i := 1; i < len(v); i++ {
+		if v[i] < v[i-1] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,289 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// jsonlRecord wraps an event with a kind discriminator. encoding/json emits
+// struct fields in declaration order, so each line starts with {"kind":...}
+// and the record layout is deterministic — golden-testable.
+type jsonlRecord struct {
+	Kind string `json:"kind"`
+	Ev   any    `json:"ev"`
+}
+
+// JSONLSink writes one JSON object per event, newline-delimited. Safe for
+// concurrent use; write errors are sticky and reported by Err so hot paths
+// never have to check.
+type JSONLSink struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+	err error
+}
+
+// NewJSONLSink wraps w. The caller owns w's lifecycle (flush/close).
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	return &JSONLSink{enc: json.NewEncoder(w)}
+}
+
+func (s *JSONLSink) emit(kind string, ev any) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	s.err = s.enc.Encode(jsonlRecord{Kind: kind, Ev: ev})
+}
+
+// Err reports the first write error, if any.
+func (s *JSONLSink) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Admit implements Tracer.
+func (s *JSONLSink) Admit(e AdmitEvent) { s.emit("admit", e) }
+
+// Load implements Tracer.
+func (s *JSONLSink) Load(e LoadEvent) { s.emit("load", e) }
+
+// Evict implements Tracer.
+func (s *JSONLSink) Evict(e EvictEvent) { s.emit("evict", e) }
+
+// SelectRound implements Tracer.
+func (s *JSONLSink) SelectRound(e SelectRoundEvent) { s.emit("select_round", e) }
+
+// CreditDecay implements Tracer.
+func (s *JSONLSink) CreditDecay(e CreditDecayEvent) { s.emit("credit_decay", e) }
+
+// Stage implements Tracer.
+func (s *JSONLSink) Stage(e StageEvent) { s.emit("stage", e) }
+
+// JobServed implements Tracer.
+func (s *JSONLSink) JobServed(e JobServedEvent) { s.emit("job_served", e) }
+
+// RingSink keeps the most recent capacity events in memory — a flight
+// recorder for tests and post-mortem inspection. Safe for concurrent use.
+type RingSink struct {
+	mu    sync.Mutex
+	buf   []any
+	next  int
+	wrap  bool
+	total int64
+}
+
+// NewRingSink returns a ring holding up to capacity events (min 1).
+func NewRingSink(capacity int) *RingSink {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &RingSink{buf: make([]any, capacity)}
+}
+
+func (r *RingSink) push(ev any) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.buf[r.next] = ev
+	r.next++
+	r.total++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.wrap = true
+	}
+}
+
+// Events returns the buffered events oldest-first.
+func (r *RingSink) Events() []any {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.wrap {
+		return append([]any(nil), r.buf[:r.next]...)
+	}
+	out := make([]any, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	return append(out, r.buf[:r.next]...)
+}
+
+// Total reports how many events were ever pushed (including overwritten ones).
+func (r *RingSink) Total() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Admit implements Tracer.
+func (r *RingSink) Admit(e AdmitEvent) { r.push(e) }
+
+// Load implements Tracer.
+func (r *RingSink) Load(e LoadEvent) { r.push(e) }
+
+// Evict implements Tracer.
+func (r *RingSink) Evict(e EvictEvent) { r.push(e) }
+
+// SelectRound implements Tracer.
+func (r *RingSink) SelectRound(e SelectRoundEvent) { r.push(e) }
+
+// CreditDecay implements Tracer.
+func (r *RingSink) CreditDecay(e CreditDecayEvent) { r.push(e) }
+
+// Stage implements Tracer.
+func (r *RingSink) Stage(e StageEvent) { r.push(e) }
+
+// JobServed implements Tracer.
+func (r *RingSink) JobServed(e JobServedEvent) { r.push(e) }
+
+// TraceStats aggregates event counts and headline byte totals.
+type TraceStats struct {
+	Admits       int64 `json:"admits"`
+	Hits         int64 `json:"hits"`
+	Unserviced   int64 `json:"unserviced"`
+	Loads        int64 `json:"loads"`
+	Evicts       int64 `json:"evicts"`
+	SelectRounds int64 `json:"select_rounds"`
+	CreditDecays int64 `json:"credit_decays"`
+	StageStarts  int64 `json:"stage_starts"`
+	StageRetries int64 `json:"stage_retries"`
+	Failovers    int64 `json:"failovers"`
+	StageDones   int64 `json:"stage_dones"`
+	JobsServed   int64 `json:"jobs_served"`
+	BytesLoaded  int64 `json:"bytes_loaded"`
+	BytesEvicted int64 `json:"bytes_evicted"`
+}
+
+// StatsSink counts events without retaining them — the cheapest way to
+// assert "N evictions happened" in a test. Safe for concurrent use.
+type StatsSink struct {
+	mu sync.Mutex
+	st TraceStats
+}
+
+// NewStatsSink returns an empty aggregating sink.
+func NewStatsSink() *StatsSink { return &StatsSink{} }
+
+// Stats returns a copy of the aggregated counts.
+func (s *StatsSink) Stats() TraceStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.st
+}
+
+// Admit implements Tracer.
+func (s *StatsSink) Admit(e AdmitEvent) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.st.Admits++
+	if e.Hit {
+		s.st.Hits++
+	}
+	if e.Unserviceable {
+		s.st.Unserviced++
+	}
+}
+
+// Load implements Tracer.
+func (s *StatsSink) Load(e LoadEvent) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.st.Loads++
+	s.st.BytesLoaded += e.Bytes
+}
+
+// Evict implements Tracer.
+func (s *StatsSink) Evict(e EvictEvent) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.st.Evicts++
+	s.st.BytesEvicted += e.Bytes
+}
+
+// SelectRound implements Tracer.
+func (s *StatsSink) SelectRound(SelectRoundEvent) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.st.SelectRounds++
+}
+
+// CreditDecay implements Tracer.
+func (s *StatsSink) CreditDecay(CreditDecayEvent) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.st.CreditDecays++
+}
+
+// Stage implements Tracer.
+func (s *StatsSink) Stage(e StageEvent) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch e.Phase {
+	case StageStart:
+		s.st.StageStarts++
+	case StageRetry:
+		s.st.StageRetries++
+	case StageFailover:
+		s.st.Failovers++
+	case StageDone:
+		s.st.StageDones++
+	}
+}
+
+// JobServed implements Tracer.
+func (s *StatsSink) JobServed(JobServedEvent) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.st.JobsServed++
+}
+
+// MultiTracer fans every event out to each tracer in order.
+type MultiTracer []Tracer
+
+// Admit implements Tracer.
+func (m MultiTracer) Admit(e AdmitEvent) {
+	for _, t := range m {
+		t.Admit(e)
+	}
+}
+
+// Load implements Tracer.
+func (m MultiTracer) Load(e LoadEvent) {
+	for _, t := range m {
+		t.Load(e)
+	}
+}
+
+// Evict implements Tracer.
+func (m MultiTracer) Evict(e EvictEvent) {
+	for _, t := range m {
+		t.Evict(e)
+	}
+}
+
+// SelectRound implements Tracer.
+func (m MultiTracer) SelectRound(e SelectRoundEvent) {
+	for _, t := range m {
+		t.SelectRound(e)
+	}
+}
+
+// CreditDecay implements Tracer.
+func (m MultiTracer) CreditDecay(e CreditDecayEvent) {
+	for _, t := range m {
+		t.CreditDecay(e)
+	}
+}
+
+// Stage implements Tracer.
+func (m MultiTracer) Stage(e StageEvent) {
+	for _, t := range m {
+		t.Stage(e)
+	}
+}
+
+// JobServed implements Tracer.
+func (m MultiTracer) JobServed(e JobServedEvent) {
+	for _, t := range m {
+		t.JobServed(e)
+	}
+}

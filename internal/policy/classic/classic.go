@@ -1,8 +1,9 @@
 // Package classic implements the traditional popularity/recency replacement
-// policies the paper's introduction argues are insensitive to inter-file
-// dependencies: LRU, MRU, LFU, FIFO, GDSF and Random — each adapted to
-// bundle admissions (whole bundles load, files of the current request are
-// never victims).
+// policies the paper's introduction (§1, §1.2) argues are insensitive to
+// inter-file dependencies: LRU, MRU, LFU, FIFO, GDSF and Random — each
+// adapted to bundle admissions (whole bundles load, files of the current
+// request are never victims). They are the comparison floor for the
+// baselines table in EXPERIMENTS.md.
 //
 // They share one engine: a scorer ranks resident files and the lowest score
 // outside the incoming bundle is evicted until the missing files fit.

@@ -16,6 +16,7 @@ import (
 	"fbcache/internal/cache"
 	"fbcache/internal/floats"
 	"fbcache/internal/invariant"
+	"fbcache/internal/obs"
 	"fbcache/internal/policy"
 )
 
@@ -28,6 +29,12 @@ type Landlord struct {
 	sizeOf  bundle.SizeFunc
 	cost    CostFunc
 	credits map[bundle.FileID]float64
+
+	// admissions counts Admit calls; it stamps trace events (the policy has
+	// no clock). tracer, when non-nil, receives an AdmitEvent per Admit and a
+	// CreditDecayEvent per decay round of Algorithm 3 Step 3.
+	admissions int64
+	tracer     obs.Tracer
 }
 
 // New returns a Landlord policy with cost(f) = size(f).
@@ -65,6 +72,30 @@ func (l *Landlord) Name() string { return "landlord" }
 // Cache implements policy.Policy.
 func (l *Landlord) Cache() *cache.Cache { return l.cache }
 
+// SetTracer installs t on the policy and its cache (nil disables tracing).
+// The policy emits Admit and CreditDecay events; the cache emits per-file
+// Load and Evict events.
+func (l *Landlord) SetTracer(t obs.Tracer) {
+	l.tracer = t
+	l.cache.SetTracer(t)
+}
+
+// emitAdmit publishes one AdmitEvent for res, stamped with the admission
+// ordinal.
+func (l *Landlord) emitAdmit(res policy.Result, files int) {
+	l.tracer.Admit(obs.AdmitEvent{
+		At:             float64(l.admissions),
+		Policy:         l.Name(),
+		Files:          files,
+		BytesRequested: int64(res.BytesRequested),
+		BytesLoaded:    int64(res.BytesLoaded),
+		FilesLoaded:    res.FilesLoaded,
+		FilesEvicted:   res.FilesEvicted,
+		Hit:            res.Hit,
+		Unserviceable:  res.Unserviceable,
+	})
+}
+
 // Credit reports the current credit of f (0 if not resident).
 func (l *Landlord) Credit(f bundle.FileID) float64 { return l.credits[f] }
 
@@ -81,9 +112,13 @@ func (l *Landlord) resetCredit(f bundle.FileID) {
 
 // Admit implements Algorithm 3 for one request.
 func (l *Landlord) Admit(b bundle.Bundle) policy.Result {
+	l.admissions++
 	res := policy.Result{BytesRequested: b.TotalSize(l.sizeOf)}
 	if res.BytesRequested > l.cache.Capacity() {
 		res.Unserviceable = true
+		if l.tracer != nil {
+			l.emitAdmit(res, len(b))
+		}
 		return res
 	}
 
@@ -92,6 +127,9 @@ func (l *Landlord) Admit(b bundle.Bundle) policy.Result {
 		// Step 4's refresh: a reference renews the bundle's credits.
 		for _, f := range b {
 			l.resetCredit(f)
+		}
+		if l.tracer != nil {
+			l.emitAdmit(res, len(b))
 		}
 		return res
 	}
@@ -119,6 +157,11 @@ func (l *Landlord) Admit(b bundle.Bundle) policy.Result {
 		if !floats.AlmostZero(min) {
 			for _, f := range evictable {
 				l.credits[f] -= min
+			}
+			if l.tracer != nil {
+				l.tracer.CreditDecay(obs.CreditDecayEvent{
+					At: float64(l.admissions), Min: min, Files: len(evictable),
+				})
 			}
 		}
 		if invariant.Enabled {
@@ -174,6 +217,9 @@ func (l *Landlord) Admit(b bundle.Bundle) policy.Result {
 		}
 	}
 	res.Evicted = bundle.FromSlice(res.Evicted)
+	if l.tracer != nil {
+		l.emitAdmit(res, len(b))
+	}
 	return res
 }
 

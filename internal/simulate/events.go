@@ -12,6 +12,7 @@ import (
 	"fbcache/internal/grid"
 	"fbcache/internal/metrics"
 	"fbcache/internal/mss"
+	"fbcache/internal/obs"
 	"fbcache/internal/policy"
 	"fbcache/internal/stats"
 	"fbcache/internal/workload"
@@ -46,6 +47,10 @@ type EventOptions struct {
 	// zero-valued scenario reproduces the fault-free simulation bit for
 	// bit; see internal/faults.
 	Faults *faults.Scenario
+	// Tracer, when non-nil, receives Stage (start/retry/failover/done) and
+	// JobServed events stamped with sim-time seconds. Policy- and cache-level
+	// events are installed separately via SetTracer on the policy.
+	Tracer obs.Tracer
 }
 
 // GridConfig wires a topology and replica catalog into the simulation.
@@ -64,9 +69,10 @@ type stageOutcome struct {
 
 // stager models where miss traffic comes from and how long it takes.
 type stager interface {
-	// stage schedules transfers for files at time now and reports when the
-	// last one lands in the cache — or that staging failed and when.
-	stage(now float64, files bundle.Bundle, sizeOf bundle.SizeFunc) (stageOutcome, error)
+	// stage schedules transfers for job's files at time now and reports when
+	// the last one lands in the cache — or that staging failed and when.
+	// job only labels trace events.
+	stage(now float64, job int, files bundle.Bundle, sizeOf bundle.SizeFunc) (stageOutcome, error)
 	// utilization reports mean transfer-channel utilization over [0, horizon].
 	utilization(horizon float64) float64
 }
@@ -79,6 +85,7 @@ type resilient struct {
 	inj    *faults.Injector
 	budget float64 // per-job staging budget (seconds; 0 = unlimited)
 	res    metrics.Resilience
+	tr     obs.Tracer // nil unless EventOptions.Tracer was set
 }
 
 func (r *resilient) deadline(now float64) float64 {
@@ -94,7 +101,7 @@ func (r *resilient) deadline(now float64) float64 {
 // recover when every source is dark. fetch schedules one attempt against
 // srcs[k] at time t and returns its landing time; a failed attempt still
 // occupied its MSS channel — the transfer broke, it wasn't free.
-func (r *resilient) stageFile(now, deadline float64, srcs []int, fetch func(k int, t float64) float64) (float64, bool) {
+func (r *resilient) stageFile(now, deadline float64, job int, srcs []int, fetch func(k int, t float64) float64) (float64, bool) {
 	retry := r.inj.Retry()
 	t := now
 	// One outer round per recovery wait; bounded so a permanently dark grid
@@ -110,6 +117,11 @@ func (r *resilient) stageFile(now, deadline float64, srcs []int, fetch func(k in
 				// Staging moved past the cheapest replica — whether it was
 				// down or its attempts were exhausted.
 				r.res.Failovers++
+				if r.tr != nil {
+					r.tr.Stage(obs.StageEvent{
+						At: t, Phase: obs.StageFailover, Job: job, Site: fmt.Sprint(site),
+					})
+				}
 			}
 			for attempt := 0; attempt < retry.MaxAttempts; attempt++ {
 				done := fetch(k, t)
@@ -121,6 +133,11 @@ func (r *resilient) stageFile(now, deadline float64, srcs []int, fetch func(k in
 					return done, true
 				}
 				r.res.Retries++
+				if r.tr != nil {
+					r.tr.Stage(obs.StageEvent{
+						At: done, Phase: obs.StageRetry, Job: job, Site: fmt.Sprint(site),
+					})
+				}
 				t = done + retry.Backoff(attempt, r.inj.RNG())
 				if t > deadline {
 					r.res.Timeouts++
@@ -159,12 +176,12 @@ type mssStager struct {
 
 var mssOnlySource = []int{0}
 
-func (s *mssStager) stage(now float64, files bundle.Bundle, sizeOf bundle.SizeFunc) (stageOutcome, error) {
+func (s *mssStager) stage(now float64, job int, files bundle.Bundle, sizeOf bundle.SizeFunc) (stageOutcome, error) {
 	deadline := s.rs.deadline(now)
 	finish := now
 	for _, f := range files {
 		size := sizeOf(f)
-		at, ok := s.rs.stageFile(now, deadline, mssOnlySource, func(_ int, t float64) float64 {
+		at, ok := s.rs.stageFile(now, deadline, job, mssOnlySource, func(_ int, t float64) float64 {
 			return s.sys.Fetch(t, size)
 		})
 		if !ok {
@@ -228,7 +245,7 @@ func newGridStager(cfg *GridConfig, rs *resilient, armed bool) (*gridStager, err
 	return g, nil
 }
 
-func (g *gridStager) stage(now float64, files bundle.Bundle, sizeOf bundle.SizeFunc) (stageOutcome, error) {
+func (g *gridStager) stage(now float64, job int, files bundle.Bundle, sizeOf bundle.SizeFunc) (stageOutcome, error) {
 	deadline := g.rs.deadline(now)
 	finish := now
 	for _, f := range files {
@@ -241,7 +258,7 @@ func (g *gridStager) stage(now float64, files bundle.Bundle, sizeOf bundle.SizeF
 		for i, s := range ranked {
 			srcs[i] = int(s.Site)
 		}
-		at, ok := g.rs.stageFile(now, deadline, srcs, func(k int, t float64) float64 {
+		at, ok := g.rs.stageFile(now, deadline, job, srcs, func(k int, t float64) float64 {
 			site := ranked[k].Site
 			return g.sites[site].Fetch(t, size) + g.wanSeconds(site, size)
 		})
@@ -362,7 +379,7 @@ func RunEvents(w *workload.Workload, p policy.Policy, opts EventOptions) (EventS
 	if err != nil {
 		return EventStats{}, err
 	}
-	rs := &resilient{inj: inj, budget: inj.Scenario().StageBudgetSec}
+	rs := &resilient{inj: inj, budget: inj.Scenario().StageBudgetSec, tr: opts.Tracer}
 	armed := opts.Faults != nil
 	var archive stager
 	var gridArchive *gridStager
@@ -406,6 +423,10 @@ func RunEvents(w *workload.Workload, p policy.Policy, opts EventOptions) (EventS
 	type running struct {
 		bundleRef bundle.Bundle
 		arrival   float64
+		jobIdx    int     // index into jobs, for trace events
+		hit       bool    // request-hit on this (final) dispatch
+		staged    float64 // when the bundle was fully staged
+		loaded    bundle.Size
 	}
 
 	var (
@@ -485,12 +506,23 @@ func RunEvents(w *workload.Workload, p policy.Policy, opts EventOptions) (EventS
 			}
 			staged := now
 			if len(toStage) > 0 {
-				out, err := archive.stage(now, toStage, sizeOf)
+				if opts.Tracer != nil {
+					opts.Tracer.Stage(obs.StageEvent{
+						At: now, Phase: obs.StageStart, Job: j,
+						Files: len(toStage), Bytes: int64(toStage.TotalSize(sizeOf)),
+					})
+				}
+				out, err := archive.stage(now, j, toStage, sizeOf)
 				if err != nil {
 					stageErr = err
 					return
 				}
 				if !out.ok {
+					if opts.Tracer != nil {
+						opts.Tracer.Stage(obs.StageEvent{
+							At: out.at, Phase: obs.StageDone, Job: j, Files: len(toStage),
+						})
+					}
 					// Staging abandoned: hold the slot until the failure is
 					// discovered, then requeue or fail the job from evFailed.
 					restage[j] = toStage
@@ -499,6 +531,12 @@ func RunEvents(w *workload.Workload, p policy.Policy, opts EventOptions) (EventS
 					continue
 				}
 				staged = out.at
+				if opts.Tracer != nil {
+					opts.Tracer.Stage(obs.StageEvent{
+						At: staged, Phase: obs.StageDone, Job: j,
+						Files: len(toStage), OK: true,
+					})
+				}
 			}
 			stagings = append(stagings, staged-arrivals[j])
 
@@ -511,7 +549,10 @@ func RunEvents(w *workload.Workload, p policy.Policy, opts EventOptions) (EventS
 			done := staged + proc(b)
 			handle := nextHandle
 			nextHandle++
-			inFlight[handle] = running{bundleRef: b, arrival: arrivals[j]}
+			inFlight[handle] = running{
+				bundleRef: b, arrival: arrivals[j],
+				jobIdx: j, hit: res.Hit, staged: staged, loaded: res.BytesLoaded,
+			}
 			heap.Push(&h, event{at: done, kind: evCompletion, job: handle})
 		}
 	}
@@ -530,6 +571,15 @@ func RunEvents(w *workload.Workload, p policy.Policy, opts EventOptions) (EventS
 			}
 			pinnedBytes -= r.bundleRef.TotalSize(sizeOf)
 			slotsFree++
+			if opts.Tracer != nil {
+				opts.Tracer.JobServed(obs.JobServedEvent{
+					At: e.at, Job: r.jobIdx, Hit: r.hit,
+					ResponseSec:    e.at - r.arrival,
+					StagingSec:     r.staged - r.arrival,
+					BytesRequested: int64(r.bundleRef.TotalSize(sizeOf)),
+					BytesLoaded:    int64(r.loaded),
+				})
+			}
 			responses = append(responses, e.at-r.arrival)
 			if e.at > lastDone {
 				lastDone = e.at

@@ -17,6 +17,7 @@ import (
 
 	"fbcache/internal/bundle"
 	"fbcache/internal/metrics"
+	"fbcache/internal/obs"
 	"fbcache/internal/policy"
 	"fbcache/internal/queue"
 	"fbcache/internal/workload"
@@ -40,6 +41,10 @@ type Options struct {
 	// still drive the cache), isolating steady-state behaviour from the
 	// compulsory-miss ramp.
 	Warmup int
+	// Tracer, when non-nil, receives a JobServedEvent per job (stamped with
+	// the job ordinal — the trace-driven simulator has no clock). Policy- and
+	// cache-level events are installed separately via SetTracer on the policy.
+	Tracer obs.Tracer
 }
 
 // Run drives every job of w through p and returns the collected metrics.
@@ -53,6 +58,15 @@ func Run(w *workload.Workload, p policy.Policy, opts Options) (*metrics.Collecto
 	serve := func(b bundle.Bundle) {
 		res := p.Admit(b)
 		served++
+		if opts.Tracer != nil {
+			opts.Tracer.JobServed(obs.JobServedEvent{
+				At:             float64(served),
+				Job:            served - 1,
+				Hit:            res.Hit,
+				BytesRequested: int64(res.BytesRequested),
+				BytesLoaded:    int64(res.BytesLoaded),
+			})
+		}
 		if served > opts.Warmup {
 			col.Record(res)
 		}

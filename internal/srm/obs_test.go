@@ -1,0 +1,133 @@
+package srm
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"fbcache/internal/bundle"
+)
+
+func TestRegistryExposesLiveState(t *testing.T) {
+	s, _ := newTestSRM(100, 60, 30)
+	reg := NewRegistry(s)
+
+	rel, res, err := s.Stage(bundle.New(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Hit {
+		t.Fatal("first stage should miss")
+	}
+
+	snap := reg.Snapshot()
+	expect := map[string]float64{
+		"fbcache_jobs_total":           1,
+		"fbcache_jobs_active":          1,
+		"fbcache_bytes_loaded_total":   60,
+		"fbcache_cache_used_bytes":     60,
+		"fbcache_cache_capacity_bytes": 100,
+		"fbcache_pinned_bytes":         60,
+		"fbcache_byte_miss_ratio":      1,
+		"fbcache_hit_ratio":            0,
+	}
+	for name, want := range expect {
+		m, ok := snap.Get(name)
+		if !ok {
+			t.Errorf("metric %s missing", name)
+			continue
+		}
+		if m.Value != want {
+			t.Errorf("%s = %g, want %g", name, m.Value, want)
+		}
+	}
+	if _, ok := snap.Get(`fbcache_info{policy="optfilebundle"}`); !ok {
+		t.Error("fbcache_info with policy label missing")
+	}
+	rel()
+
+	// Resilience counters flow through: two store retries then success.
+	calls := 0
+	if err := s.retryStore(func() error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if m, _ := reg.Snapshot().Get("fbcache_resilience_retries_total"); m.Value != 2 {
+		t.Errorf("fbcache_resilience_retries_total = %g, want 2", m.Value)
+	}
+}
+
+func TestRegistryPrometheusText(t *testing.T) {
+	s, _ := newTestSRM(100, 10)
+	rel, _, err := s.Stage(bundle.New(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel()
+
+	var sb strings.Builder
+	if err := NewRegistry(s).Snapshot().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		"# TYPE fbcache_hit_ratio gauge",
+		"# TYPE fbcache_byte_miss_ratio gauge",
+		"# TYPE fbcache_bytes_loaded_total counter",
+		"fbcache_bytes_loaded_total 10",
+		"fbcache_resilience_retries_total 0",
+		"fbcache_resilience_failovers_total 0",
+		"fbcache_resilience_timeouts_total 0",
+		`fbcache_info{policy="optfilebundle"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("scrape missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// Regression for the Resilience value-copy audit: Snapshot hands out a copy,
+// and that copy must be isolated both ways — mutating it cannot leak into the
+// live counters, and later live updates cannot retroactively change an
+// already-taken snapshot.
+func TestSnapshotResilienceIsolation(t *testing.T) {
+	s, _ := newTestSRM(100, 10)
+	transient := func(failures int) {
+		calls := 0
+		if err := s.retryStore(func() error {
+			if calls++; calls <= failures {
+				return errors.New("transient")
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	transient(2)
+	snap := s.Stats()
+	if snap.Resilience.Retries != 2 {
+		t.Fatalf("retries = %d, want 2", snap.Resilience.Retries)
+	}
+
+	// Mutating the copy must not write through to the SRM.
+	snap.Resilience.Retries = 999
+	if got := s.Stats().Resilience.Retries; got != 2 {
+		t.Errorf("snapshot mutation leaked into live counters: %d", got)
+	}
+
+	// Later activity must not change the earlier snapshot.
+	before := s.Stats()
+	transient(2)
+	if before.Resilience.Retries != 2 {
+		t.Errorf("earlier snapshot changed retroactively: %d", before.Resilience.Retries)
+	}
+	if got := s.Stats().Resilience.Retries; got != 4 {
+		t.Errorf("live retries = %d, want 4", got)
+	}
+}

@@ -1,6 +1,6 @@
 // Package stats provides the stochastic building blocks for workload
 // generation and the summary statistics used by the experiment harness:
-// a finite Zipf sampler (the paper's 1/i popularity law), uniform samplers,
+// a finite Zipf sampler (the 1/i popularity law of §5.1), uniform samplers,
 // histograms and running summaries. Everything is seedable and deterministic.
 package stats
 
