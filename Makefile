@@ -7,7 +7,7 @@ GO ?= go
 #   make fuzz FUZZTIME=5m
 FUZZTIME ?= 30s
 
-.PHONY: all build test test-invariant lint vet fbvet doc-lint race bench bench-guard fuzz soak clean
+.PHONY: all build test test-invariant lint vet fbvet doc-lint race bench bench-guard bench-json trace-check fuzz soak clean
 
 all: build lint test
 
@@ -57,6 +57,22 @@ bench:
 bench-guard:
 	$(GO) test -run '^$$' -bench 'BenchmarkOptCacheSelect' -benchmem -benchtime=100x ./internal/core/
 	$(GO) test -run '^$$' -bench 'BenchmarkLandlord$$' -benchmem -benchtime=100x ./internal/policy/landlord/
+
+# bench-json runs the core/landlord/simulate benchmarks and converts the
+# text output into schema-versioned JSON (BENCH_core.json) via benchjson —
+# one point of the benchmark trajectory. The -require flags make a run that
+# silently lost an expected benchmark fail instead of writing a thin file.
+bench-json:
+	$(GO) test -run '^$$' -bench 'OptCacheSelect|BenchmarkLandlord|RunEvents|Run(OptFileBundle|Landlord)1000' \
+		-benchmem -benchtime=100x ./internal/core/ ./internal/policy/landlord/ ./internal/simulate/ \
+		| $(GO) run ./cmd/benchjson -require OptCacheSelect -require Landlord -out BENCH_core.json
+	@echo wrote BENCH_core.json
+
+# trace-check replays the golden event trace through the offline validator:
+# reconstructed residency must satisfy the cache invariants at the golden
+# workload's capacity (7 bytes).
+trace-check:
+	$(GO) run ./cmd/fbtrace validate -capacity 7 internal/simulate/testdata/golden_trace.jsonl
 
 # fuzz gives each harness FUZZTIME of coverage-guided search on top of the
 # checked-in corpora (testdata/fuzz/...). The Landlord target runs with

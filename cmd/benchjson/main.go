@@ -1,0 +1,224 @@
+// Command benchjson converts `go test -bench` text output into the
+// schema-versioned JSON consumed by the benchmark-trajectory harness
+// (`make bench-json` writes BENCH_core.json). Reading from stdin or a file:
+//
+//	go test -bench . -benchmem ./internal/core/ | benchjson -out BENCH_core.json
+//
+// Each -require PATTERN asserts that at least one parsed benchmark name
+// matches the regular expression; a run whose output lost an expected
+// benchmark (build failure, renamed function) fails loudly instead of
+// writing a silently thinner file.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Schema identifies the output format; bump on breaking changes.
+const Schema = "fbcache-bench/v1"
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	Pkg         string  `json:"pkg"`
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BPerOp      int64   `json:"b_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// File is the full output document. It deliberately carries no wall-clock
+// timestamp: two runs of the same toolchain on the same code produce
+// byte-identical files, so the trajectory diffs cleanly in version control.
+type File struct {
+	Schema     string      `json:"schema"`
+	GoVersion  string      `json:"go_version"`
+	GOOS       string      `json:"goos"`
+	GOARCH     string      `json:"goarch"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// multiFlag collects repeated -require values.
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	out := fs.String("out", "", "output file (default stdout)")
+	var require multiFlag
+	fs.Var(&require, "require", "regexp at least one benchmark name must match (repeatable)")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: benchjson [-out FILE] [-require RE]... [bench-output.txt]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	in := stdin
+	switch fs.NArg() {
+	case 0:
+	case 1:
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			fmt.Fprintf(stderr, "benchjson: %v\n", err)
+			return 1
+		}
+		defer func() {
+			_ = f.Close() // read-only handle
+		}()
+		in = f
+	default:
+		fs.Usage()
+		return 2
+	}
+
+	doc, err := Parse(in)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchjson: %v\n", err)
+		return 1
+	}
+	if len(doc.Benchmarks) == 0 {
+		fmt.Fprintln(stderr, "benchjson: no benchmark results in input")
+		return 1
+	}
+	for _, pat := range require {
+		re, err := regexp.Compile(pat)
+		if err != nil {
+			fmt.Fprintf(stderr, "benchjson: bad -require %q: %v\n", pat, err)
+			return 2
+		}
+		found := false
+		for _, b := range doc.Benchmarks {
+			if re.MatchString(b.Name) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			fmt.Fprintf(stderr, "benchjson: no benchmark matches -require %q\n", pat)
+			return 1
+		}
+	}
+
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintf(stderr, "benchjson: %v\n", err)
+		return 1
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		_, err = stdout.Write(enc)
+	} else {
+		err = os.WriteFile(*out, enc, 0o644)
+	}
+	if err != nil {
+		fmt.Fprintf(stderr, "benchjson: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// Parse reads `go test -bench` text output. Context lines (goos/goarch/
+// pkg/cpu) update the current attribution; Benchmark result lines become
+// entries. Unrecognized lines (PASS, ok, test logs) are skipped.
+func Parse(r io.Reader) (File, error) {
+	doc := File{
+		Schema:    Schema,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+	}
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "cpu: "):
+			doc.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "goos: "):
+			doc.GOOS = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			doc.GOARCH = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			b, ok, err := parseResult(line)
+			if err != nil {
+				return doc, err
+			}
+			if ok {
+				b.Pkg = pkg
+				doc.Benchmarks = append(doc.Benchmarks, b)
+			}
+		}
+	}
+	return doc, sc.Err()
+}
+
+// parseResult decodes one result line:
+//
+//	BenchmarkName-8   1234   987.6 ns/op   123 B/op   7 allocs/op
+//
+// ok=false for "Benchmark..." lines that are not results (e.g. a benchmark
+// function's own log output starting with the word Benchmark).
+func parseResult(line string) (Benchmark, bool, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !hasUnit(fields, "ns/op") {
+		return Benchmark{}, false, nil
+	}
+	var b Benchmark
+	b.Name = fields[0]
+	iter, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false, nil
+	}
+	b.Iterations = iter
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, unit := fields[i], fields[i+1]
+		switch unit {
+		case "ns/op":
+			if b.NsPerOp, err = strconv.ParseFloat(val, 64); err != nil {
+				return b, false, fmt.Errorf("bad ns/op %q in %q", val, line)
+			}
+		case "B/op":
+			if b.BPerOp, err = strconv.ParseInt(val, 10, 64); err != nil {
+				return b, false, fmt.Errorf("bad B/op %q in %q", val, line)
+			}
+		case "allocs/op":
+			if b.AllocsPerOp, err = strconv.ParseInt(val, 10, 64); err != nil {
+				return b, false, fmt.Errorf("bad allocs/op %q in %q", val, line)
+			}
+		}
+	}
+	return b, true, nil
+}
+
+// hasUnit reports whether any field equals the unit — result lines always
+// carry ns/op somewhere after the iteration count.
+func hasUnit(fields []string, unit string) bool {
+	for _, f := range fields {
+		if f == unit {
+			return true
+		}
+	}
+	return false
+}

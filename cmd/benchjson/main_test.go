@@ -1,0 +1,114 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: fbcache/internal/core
+cpu: Example CPU @ 2.00GHz
+BenchmarkOptCacheSelect/n=1000-8   	     100	    987654 ns/op	  123456 B/op	     789 allocs/op
+BenchmarkOptCacheSelect/n=5000-8   	      20	   5432109 ns/op	  654321 B/op	    4321 allocs/op
+PASS
+ok  	fbcache/internal/core	1.234s
+pkg: fbcache/internal/policy/landlord
+BenchmarkLandlordAdmit-8   	   10000	      1234 ns/op
+PASS
+ok  	fbcache/internal/policy/landlord	0.5s
+`
+
+func TestParse(t *testing.T) {
+	doc, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Schema != Schema || doc.GOOS != "linux" || doc.GOARCH != "amd64" {
+		t.Errorf("header = %+v", doc)
+	}
+	if doc.CPU != "Example CPU @ 2.00GHz" {
+		t.Errorf("cpu = %q", doc.CPU)
+	}
+	if len(doc.Benchmarks) != 3 {
+		t.Fatalf("benchmarks = %+v", doc.Benchmarks)
+	}
+	b := doc.Benchmarks[0]
+	if b.Pkg != "fbcache/internal/core" || b.Name != "BenchmarkOptCacheSelect/n=1000-8" {
+		t.Errorf("attribution: %+v", b)
+	}
+	if b.Iterations != 100 || b.NsPerOp != 987654 || b.BPerOp != 123456 || b.AllocsPerOp != 789 {
+		t.Errorf("values: %+v", b)
+	}
+	// The landlord line has no -benchmem columns and a different pkg.
+	ll := doc.Benchmarks[2]
+	if ll.Pkg != "fbcache/internal/policy/landlord" || ll.NsPerOp != 1234 || ll.BPerOp != 0 {
+		t.Errorf("landlord entry: %+v", ll)
+	}
+}
+
+func TestParseSkipsNonResultLines(t *testing.T) {
+	doc, err := Parse(strings.NewReader("Benchmarking is fun\nBenchmarkX notanumber ns/op\nPASS\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Benchmarks) != 0 {
+		t.Errorf("parsed phantom results: %+v", doc.Benchmarks)
+	}
+}
+
+func TestParseRejectsCorruptValues(t *testing.T) {
+	if _, err := Parse(strings.NewReader("BenchmarkX-8 100 abc ns/op\n")); err == nil {
+		t.Error("corrupt ns/op accepted")
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-out", out, "-require", "OptCacheSelect", "-require", "Landlord"},
+		strings.NewReader(sample), &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("code %d, stderr %s", code, stderr.String())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc File
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Schema != "fbcache-bench/v1" || len(doc.Benchmarks) != 3 {
+		t.Errorf("round-tripped doc: %+v", doc)
+	}
+}
+
+func TestRunRequireUnmatched(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-require", "NoSuchBenchmark"}, strings.NewReader(sample), &stdout, &stderr)
+	if code != 1 || !strings.Contains(stderr.String(), "NoSuchBenchmark") {
+		t.Errorf("code %d, stderr %q", code, stderr.String())
+	}
+}
+
+func TestRunEmptyInput(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(nil, strings.NewReader("PASS\n"), &stdout, &stderr); code != 1 {
+		t.Errorf("empty input: code %d", code)
+	}
+}
+
+func TestRunStdout(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(nil, strings.NewReader(sample), &stdout, &stderr); code != 0 {
+		t.Fatalf("code %d, stderr %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), `"schema": "fbcache-bench/v1"`) {
+		t.Errorf("stdout: %s", stdout.String())
+	}
+}

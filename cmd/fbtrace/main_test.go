@@ -1,0 +1,136 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const golden = "../../internal/simulate/testdata/golden_trace.jsonl"
+
+// exec runs the command and captures both streams.
+func exec(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestUsageAndHelp(t *testing.T) {
+	if code, _, stderr := exec(t); code != 2 || !strings.Contains(stderr, "usage:") {
+		t.Errorf("no args: code %d, stderr %q", code, stderr)
+	}
+	if code, _, stderr := exec(t, "frobnicate"); code != 2 || !strings.Contains(stderr, "unknown command") {
+		t.Errorf("unknown command: code %d, stderr %q", code, stderr)
+	}
+	code, stdout, _ := exec(t, "help")
+	if code != 0 || !strings.Contains(stdout, "traceinfo") {
+		t.Errorf("help: code %d; usage must cross-reference traceinfo, got %q", code, stdout)
+	}
+	// Each subcommand rejects a missing positional argument.
+	for _, sub := range []string{"summary", "validate", "critical-path", "diff"} {
+		if code, _, _ := exec(t, sub); code != 2 {
+			t.Errorf("%s with no file: code %d, want 2", sub, code)
+		}
+	}
+}
+
+func TestValidateGolden(t *testing.T) {
+	code, stdout, _ := exec(t, "validate", "-capacity", "7", golden)
+	if code != 0 {
+		t.Fatalf("code %d, output:\n%s", code, stdout)
+	}
+	if !strings.Contains(stdout, "no invariant violations") {
+		t.Errorf("output:\n%s", stdout)
+	}
+}
+
+func TestValidateCatchesViolations(t *testing.T) {
+	// Capacity 6 is one byte short of the golden run's peak residency.
+	code, stdout, _ := exec(t, "validate", "-capacity", "6", golden)
+	if code != 1 {
+		t.Fatalf("code %d, want 1; output:\n%s", code, stdout)
+	}
+	if !strings.Contains(stdout, "exceeds capacity") {
+		t.Errorf("output:\n%s", stdout)
+	}
+}
+
+func TestSummaryGolden(t *testing.T) {
+	code, stdout, _ := exec(t, "summary", "-window", "2", golden)
+	if code != 0 {
+		t.Fatalf("code %d, output:\n%s", code, stdout)
+	}
+	for _, want := range []string{
+		"policy optfilebundle",
+		"byte miss ratio  0.6842",
+		"residency before eviction",
+		"hit-ratio curve",
+	} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("summary missing %q:\n%s", want, stdout)
+		}
+	}
+}
+
+func TestCriticalPathUntimedTrace(t *testing.T) {
+	code, stdout, _ := exec(t, "critical-path", golden)
+	if code != 0 {
+		t.Fatalf("code %d, output:\n%s", code, stdout)
+	}
+	if !strings.Contains(stdout, "no timing") {
+		t.Errorf("ordinal-clock trace must report missing timing:\n%s", stdout)
+	}
+}
+
+func TestDiffSameAndDiffering(t *testing.T) {
+	code, stdout, _ := exec(t, "diff", golden, golden)
+	if code != 0 || !strings.Contains(stdout, "identical") {
+		t.Fatalf("self-diff: code %d, output:\n%s", code, stdout)
+	}
+
+	// Truncate the last two lines into a second file: diverges at the tail.
+	data, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	short := filepath.Join(t.TempDir(), "short.jsonl")
+	if err := os.WriteFile(short, []byte(strings.Join(lines[:len(lines)-2], "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, stdout, _ = exec(t, "diff", golden, short)
+	if code != 1 {
+		t.Fatalf("diff against truncation: code %d, output:\n%s", code, stdout)
+	}
+	for _, want := range []string{"first divergence", "<trace ended>", "event counts:"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("diff output missing %q:\n%s", want, stdout)
+		}
+	}
+}
+
+func TestLenientSkipsGarbage(t *testing.T) {
+	data, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirty := filepath.Join(t.TempDir(), "dirty.jsonl")
+	if err := os.WriteFile(dirty, append([]byte("this is not json\n"), data...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if code, _, stderr := exec(t, "validate", "-capacity", "7", dirty); code != 1 ||
+		!strings.Contains(stderr, "line 1") {
+		t.Errorf("strict mode must fail on garbage naming the line: code %d, stderr %q", code, stderr)
+	}
+	code, stdout, stderr := exec(t, "validate", "-lenient", "-capacity", "7", dirty)
+	if code != 0 {
+		t.Fatalf("lenient: code %d, stderr %q", code, stderr)
+	}
+	if !strings.Contains(stderr, "skipped 1") || !strings.Contains(stdout, "no invariant violations") {
+		t.Errorf("lenient output:\nstdout %s\nstderr %s", stdout, stderr)
+	}
+}

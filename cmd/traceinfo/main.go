@@ -1,9 +1,14 @@
-// Command traceinfo inspects a workload trace: file and request pool
-// statistics, popularity concentration, file-sharing degree (the d of
-// Theorem 4.1), and the reference cache size in requests.
+// Command traceinfo inspects a workload trace (tracegen output: a file
+// catalog plus a request stream): file and request pool statistics,
+// popularity concentration, file-sharing degree (the d of Theorem 4.1),
+// and the reference cache size in requests.
 //
 //	tracegen -jobs 10000 -popularity zipf -o run.trace.json
 //	traceinfo run.trace.json
+//
+// For the other trace format in this repo — JSONL event traces recording
+// what a simulation did (loads, evictions, admissions), as written by
+// cachesim -trace-out — use the fbtrace command instead.
 package main
 
 import (
@@ -28,6 +33,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	fs.Usage = func() {
 		fmt.Fprintln(stderr, "usage: traceinfo <trace-file>")
+		fmt.Fprintln(stderr, "inspects workload traces (tracegen output); for JSONL event traces use fbtrace")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {

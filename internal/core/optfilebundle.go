@@ -192,6 +192,15 @@ func (p *OptFileBundle) Admit(b bundle.Bundle) Result {
 	missing := p.cache.Missing(b)
 	needed := missing.TotalSize(p.sizeOf)
 
+	// Reset the per-admission scratch here, not in replace(): a miss with
+	// enough free space skips replace entirely, and without the reset it
+	// would report the previous admission's evictions and prefetches.
+	p.lastEvicted = 0
+	p.lastEvictedFiles = p.lastEvictedFiles[:0]
+	p.prefetchBytes = 0
+	p.prefetchFiles = 0
+	p.prefetched = p.prefetched[:0]
+
 	if p.cache.Free() < needed || p.opts.LiteralEvict {
 		p.replace(b, needed)
 	}
@@ -252,12 +261,6 @@ func (p *OptFileBundle) maybeDecay() {
 // replace frees space for an incoming bundle b whose missing files need
 // `needed` bytes, using OptCacheSelect to decide what to keep.
 func (p *OptFileBundle) replace(b bundle.Bundle, needed bundle.Size) {
-	p.lastEvicted = 0
-	p.lastEvictedFiles = p.lastEvictedFiles[:0]
-	p.prefetchBytes = 0
-	p.prefetchFiles = 0
-	p.prefetched = p.prefetched[:0]
-
 	sel := p.runSelection(b)
 
 	keep := make(map[bundle.FileID]bool, len(sel.Files)+len(b))

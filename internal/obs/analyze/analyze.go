@@ -1,0 +1,30 @@
+// Package analyze derives the paper's evaluation quantities (§6, Figs 4–9)
+// offline from JSONL event traces: a replay validator that reconstructs
+// cache residency and re-checks the internal/invariant properties after the
+// fact, residency/churn/hit-ratio summaries, per-job critical-path
+// breakdowns, and trace-vs-trace diffs. It consumes the typed events
+// decoded by internal/obs/traceio and is driven by cmd/fbtrace.
+//
+// Time units: simulator-level events (stage, job_served) carry sim-time
+// seconds; policy- and cache-level events carry per-component ordinals that
+// are not comparable across kinds. Analytics that need one clock for the
+// whole trace therefore count served jobs — "this file stayed resident for
+// 12 jobs" is both layer-independent and the natural unit for caching
+// questions.
+package analyze
+
+import (
+	"fbcache/internal/obs"
+	"fbcache/internal/obs/traceio"
+)
+
+// Stats replays events into an obs.StatsSink and returns the aggregate
+// counts — the same totals a live run would have accumulated.
+func Stats(events []traceio.Event) obs.TraceStats {
+	sink := obs.NewStatsSink()
+	for _, e := range events {
+		// Dispatch only fails on payload types a decoder cannot produce.
+		_ = traceio.Dispatch(sink, e)
+	}
+	return sink.Stats()
+}

@@ -1,0 +1,165 @@
+package analyze
+
+import (
+	"sort"
+
+	"fbcache/internal/obs"
+	"fbcache/internal/obs/traceio"
+)
+
+// JobPath is one job's critical-path breakdown, reconstructed from its
+// JobServed record and the Stage events carrying its job ID. All durations
+// are sim-time seconds.
+//
+// The legs partition the response time: QueueWait (arrival to first slot),
+// Transfer (first slot to fully staged — retries, failovers, dark-grid
+// waits and requeues all land here, itemized by the counters), Process
+// (staged to completion).
+type JobPath struct {
+	Job          int
+	QueuedAt     float64
+	FirstStageAt float64
+	ServedAt     float64
+
+	Response  float64
+	QueueWait float64
+	Transfer  float64
+	Process   float64
+
+	Retries        int
+	Failovers      int
+	FailedAttempts int // staging attempts abandoned (StageDone with ok=false)
+
+	// BlockingFiles are the file IDs whose loads this job's admissions
+	// triggered — the misses the job actually waited on. Empty when the
+	// trace has no cache-level events.
+	BlockingFiles []int64
+}
+
+// CriticalPath aggregates the per-job breakdowns of one trace.
+type CriticalPath struct {
+	Jobs int
+	// Timed is false for trace-driven runs (simulate.Run), which serve jobs
+	// on an ordinal clock: the breakdown degenerates to zeros there.
+	Timed bool
+
+	MeanResponse  float64
+	MeanQueueWait float64
+	MeanTransfer  float64
+	MeanProcess   float64
+
+	// Top holds the K slowest jobs by response time, slowest first.
+	Top []JobPath
+}
+
+// CriticalPaths reconstructs every served job's critical path and returns
+// the aggregate plus the topK slowest jobs. Jobs served multiple times
+// (requeued after abandoned staging) fold into one path keyed by job ID.
+func CriticalPaths(events []traceio.Event, topK int) CriticalPath {
+	if topK <= 0 {
+		topK = 10
+	}
+	type jobState struct {
+		retries, failovers, failed int
+		blocking                   []int64
+	}
+	state := make(map[int]*jobState)
+	stateOf := func(job int) *jobState {
+		st := state[job]
+		if st == nil {
+			st = &jobState{}
+			state[job] = st
+		}
+		return st
+	}
+
+	var paths []JobPath
+	// Loads emitted since the last admit; the stage_start that follows the
+	// admit tells us which job those misses blocked.
+	var batch, lastAdmitted []int64
+
+	for _, e := range events {
+		switch ev := e.Ev.(type) {
+		case obs.LoadEvent:
+			batch = append(batch, ev.File)
+		case obs.AdmitEvent:
+			lastAdmitted, batch = batch, nil
+		case obs.StageEvent:
+			st := stateOf(ev.Job)
+			switch ev.Phase {
+			case obs.StageStart:
+				st.blocking = append(st.blocking, lastAdmitted...)
+				lastAdmitted = nil
+			case obs.StageRetry:
+				st.retries++
+			case obs.StageFailover:
+				st.failovers++
+			case obs.StageDone:
+				if !ev.OK {
+					st.failed++
+				}
+			}
+		case obs.JobServedEvent:
+			p := JobPath{
+				Job:          ev.Job,
+				QueuedAt:     ev.QueuedAt,
+				FirstStageAt: ev.FirstStageAt,
+				ServedAt:     ev.At,
+				Response:     ev.ResponseSec,
+			}
+			if ev.FirstStageAt >= ev.QueuedAt {
+				p.QueueWait = ev.FirstStageAt - ev.QueuedAt
+			}
+			if staging := ev.StagingSec; staging >= p.QueueWait {
+				p.Transfer = staging - p.QueueWait
+			}
+			if ev.ResponseSec >= ev.StagingSec {
+				p.Process = ev.ResponseSec - ev.StagingSec
+			}
+			if st := state[ev.Job]; st != nil {
+				p.Retries = st.retries
+				p.Failovers = st.failovers
+				p.FailedAttempts = st.failed
+				p.BlockingFiles = st.blocking
+				delete(state, ev.Job)
+			}
+			paths = append(paths, p)
+		}
+	}
+
+	cp := CriticalPath{Jobs: len(paths)}
+	if len(paths) == 0 {
+		return cp
+	}
+	var sumR, sumQ, sumT, sumP float64
+	for _, p := range paths {
+		sumR += p.Response
+		sumQ += p.QueueWait
+		sumT += p.Transfer
+		sumP += p.Process
+		if p.Response > 0 || p.QueueWait > 0 {
+			cp.Timed = true
+		}
+	}
+	n := float64(len(paths))
+	cp.MeanResponse = sumR / n
+	cp.MeanQueueWait = sumQ / n
+	cp.MeanTransfer = sumT / n
+	cp.MeanProcess = sumP / n
+
+	// Slowest first; job ID breaks ties so the listing is deterministic.
+	sort.SliceStable(paths, func(i, j int) bool {
+		if paths[i].Response > paths[j].Response {
+			return true
+		}
+		if paths[i].Response < paths[j].Response {
+			return false
+		}
+		return paths[i].Job < paths[j].Job
+	})
+	if len(paths) > topK {
+		paths = paths[:topK]
+	}
+	cp.Top = paths
+	return cp
+}

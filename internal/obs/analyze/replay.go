@@ -1,0 +1,132 @@
+package analyze
+
+import (
+	"fmt"
+
+	"fbcache/internal/obs"
+	"fbcache/internal/obs/traceio"
+)
+
+// Violation is one offline invariant failure, anchored to the 0-based event
+// index in the trace.
+type Violation struct {
+	Index int
+	Msg   string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("event %d: %s", v.Index, v.Msg)
+}
+
+// ReplayResult is the outcome of reconstructing cache residency from a
+// trace.
+type ReplayResult struct {
+	Events        int
+	Admits        int
+	MaxUsedBytes  int64 // high-water residency over the whole trace
+	EndUsedBytes  int64 // bytes resident after the last event
+	EndResident   int   // files resident after the last event
+	DistinctFiles int   // distinct file IDs ever loaded
+	Violations    []Violation
+}
+
+// OK reports a clean replay.
+func (r ReplayResult) OK() bool { return len(r.Violations) == 0 }
+
+// Replay reconstructs cache residency from Load/Evict events and re-checks
+// the internal/invariant properties offline, against the trace instead of
+// the live data structures:
+//
+//   - a resident file is never loaded again without an intervening evict,
+//     and only resident files are evicted, at the size they were loaded at;
+//   - used bytes never exceed capacity (checked when capacity > 0 — the
+//     trace does not carry the cache size, so the caller supplies it);
+//   - admissions are all-or-nothing: the loads and evicts emitted since the
+//     previous admit must match the admit record's files_loaded /
+//     bytes_loaded / files_evicted exactly, and an unserviceable admission
+//     must have loaded nothing (paper §4's atomic bundle admission).
+//
+// A trace that interleaves several caches (e.g. cachesim -compare) is not
+// replayable; every tool in this repo traces a single policy instance.
+func Replay(events []traceio.Event, capacity int64) ReplayResult {
+	res := ReplayResult{Events: len(events)}
+	resident := make(map[int64]int64) // file -> bytes
+	var used int64
+	seen := make(map[int64]bool)
+
+	// Loads/evicts accumulated since the previous admit event; the admit
+	// closing the batch must account for them exactly.
+	var batchLoads, batchEvicts int
+	var batchLoadBytes int64
+
+	fail := func(i int, format string, args ...any) {
+		res.Violations = append(res.Violations, Violation{Index: i, Msg: fmt.Sprintf(format, args...)})
+	}
+
+	for i, e := range events {
+		switch ev := e.Ev.(type) {
+		case obs.LoadEvent:
+			if _, dup := resident[ev.File]; dup {
+				fail(i, "load of already-resident file %d", ev.File)
+			}
+			resident[ev.File] = ev.Bytes
+			seen[ev.File] = true
+			used += ev.Bytes
+			batchLoads++
+			batchLoadBytes += ev.Bytes
+			if used > res.MaxUsedBytes {
+				res.MaxUsedBytes = used
+			}
+			if capacity > 0 && used > capacity {
+				fail(i, "used %d bytes exceeds capacity %d after load of file %d", used, capacity, ev.File)
+			}
+		case obs.EvictEvent:
+			sz, ok := resident[ev.File]
+			if !ok {
+				fail(i, "evict of non-resident file %d", ev.File)
+				batchEvicts++
+				continue
+			}
+			if sz != ev.Bytes {
+				fail(i, "file %d evicted at %d bytes but loaded at %d", ev.File, ev.Bytes, sz)
+			}
+			delete(resident, ev.File)
+			used -= sz
+			batchEvicts++
+		case obs.AdmitEvent:
+			res.Admits++
+			if ev.Unserviceable {
+				if batchLoads != 0 || batchEvicts != 0 {
+					fail(i, "unserviceable admission moved data: %d loads, %d evicts (all-or-nothing violated)",
+						batchLoads, batchEvicts)
+				}
+			} else {
+				if batchLoads != ev.FilesLoaded {
+					fail(i, "admission claims %d files loaded, trace shows %d", ev.FilesLoaded, batchLoads)
+				}
+				if batchLoadBytes != ev.BytesLoaded {
+					fail(i, "admission claims %d bytes loaded, trace shows %d", ev.BytesLoaded, batchLoadBytes)
+				}
+				if batchEvicts != ev.FilesEvicted {
+					fail(i, "admission claims %d files evicted, trace shows %d", ev.FilesEvicted, batchEvicts)
+				}
+				if ev.Hit && ev.FilesLoaded != 0 {
+					fail(i, "hit admission loaded %d files", ev.FilesLoaded)
+				}
+			}
+			batchLoads, batchEvicts, batchLoadBytes = 0, 0, 0
+		}
+	}
+	// Loads after the final admit belong to no admission; a policy that
+	// emits admits only does so at the end of one, so leftovers mean a
+	// truncated trace. Cache-only traces (classic policies trace loads and
+	// evicts but no admissions) legitimately have no admits at all.
+	if res.Admits > 0 && (batchLoads != 0 || batchEvicts != 0) {
+		fail(len(events)-1, "trace ends mid-admission: %d loads and %d evicts after the last admit",
+			batchLoads, batchEvicts)
+	}
+	res.EndUsedBytes = used
+	res.EndResident = len(resident)
+	res.DistinctFiles = len(seen)
+	return res
+}

@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestDeltaCounterReset pins the reset rule: a counter that went backwards
+// between the two snapshots (restarted component, or a prev snapshot from an
+// unrelated registry with the same names) yields its raw post-reset value,
+// never a negative delta.
+func TestDeltaCounterReset(t *testing.T) {
+	old := NewRegistry()
+	old.NewCounter("jobs_total", "").Add(100)
+	prev := old.Snapshot()
+
+	fresh := NewRegistry()
+	fresh.NewCounter("jobs_total", "").Add(3)
+	d := fresh.Snapshot().Delta(prev)
+
+	m, ok := d.Get("jobs_total")
+	if !ok {
+		t.Fatal("jobs_total missing from delta")
+	}
+	if m.Value != 3 {
+		t.Errorf("delta after reset = %g, want raw value 3 (not -97)", m.Value)
+	}
+}
+
+func TestDeltaHistogramReset(t *testing.T) {
+	bounds := []float64{1, 2}
+	old := NewRegistry()
+	oh := old.NewHistogram("lat", "", bounds)
+	for i := 0; i < 10; i++ {
+		oh.Observe(1)
+	}
+	prev := old.Snapshot()
+
+	fresh := NewRegistry()
+	fh := fresh.NewHistogram("lat", "", bounds)
+	fh.Observe(2)
+	d := fresh.Snapshot().Delta(prev)
+
+	m, ok := d.Get("lat")
+	if !ok {
+		t.Fatal("lat missing from delta")
+	}
+	if m.Count != 1 || m.Sum != 2 {
+		t.Errorf("delta after reset: count=%d sum=%g, want raw 1/2", m.Count, m.Sum)
+	}
+	for _, b := range m.Buckets {
+		if b.Count < 0 {
+			t.Errorf("bucket le=%g count=%d went negative after reset", b.UpperBound, b.Count)
+		}
+	}
+}
+
+// TestDeltaNormalStillSubtracts guards against the reset rule swallowing
+// ordinary monotone growth.
+func TestDeltaNormalStillSubtracts(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.NewCounter("ticks", "")
+	c.Add(5)
+	prev := reg.Snapshot()
+	c.Add(7)
+	m, _ := reg.Snapshot().Delta(prev).Get("ticks")
+	if m.Value != 7 {
+		t.Errorf("delta = %g, want 7", m.Value)
+	}
+}
+
+// ringEvents pushes n LoadEvents (file = push ordinal) into a fresh ring of
+// the given capacity and returns it.
+func ringEvents(capacity, n int) *RingSink {
+	r := NewRingSink(capacity)
+	for i := 0; i < n; i++ {
+		r.Load(LoadEvent{File: int64(i)})
+	}
+	return r
+}
+
+func ringFiles(events []any) []int64 {
+	out := make([]int64, len(events))
+	for i, ev := range events {
+		out[i] = ev.(LoadEvent).File
+	}
+	return out
+}
+
+// TestRingWrapBoundary pins the ring at the three interesting fills: one
+// short of capacity, exactly at capacity (next has wrapped to 0 but nothing
+// is lost yet), and one past capacity (the oldest event is overwritten).
+func TestRingWrapBoundary(t *testing.T) {
+	cases := []struct {
+		n       int
+		want    []int64
+		dropped int64
+	}{
+		{n: 3, want: []int64{0, 1, 2}, dropped: 0},
+		{n: 4, want: []int64{0, 1, 2, 3}, dropped: 0},
+		{n: 5, want: []int64{1, 2, 3, 4}, dropped: 1},
+		{n: 9, want: []int64{5, 6, 7, 8}, dropped: 5},
+	}
+	for _, tc := range cases {
+		r := ringEvents(4, tc.n)
+		if got := ringFiles(r.Events()); !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("n=%d: Events() = %v, want %v", tc.n, got, tc.want)
+		}
+		if got := r.Total(); got != int64(tc.n) {
+			t.Errorf("n=%d: Total() = %d, want %d", tc.n, got, tc.n)
+		}
+		if got := r.Dropped(); got != tc.dropped {
+			t.Errorf("n=%d: Dropped() = %d, want %d", tc.n, got, tc.dropped)
+		}
+	}
+}
+
+// TestRingDrain pins Drain's contract: emission order out, ring empties,
+// Total/Dropped survive, and post-drain pushes start a fresh window with no
+// phantom drops from the drained slots.
+func TestRingDrain(t *testing.T) {
+	r := ringEvents(4, 6) // events 2..5 buffered, 0 and 1 overwritten
+
+	got := ringFiles(r.Drain())
+	if want := []int64{2, 3, 4, 5}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("Drain() = %v, want %v", got, want)
+	}
+	if ev := r.Events(); len(ev) != 0 {
+		t.Fatalf("ring holds %d events after Drain, want 0", len(ev))
+	}
+	if r.Total() != 6 || r.Dropped() != 2 {
+		t.Fatalf("after Drain: Total=%d Dropped=%d, want 6/2", r.Total(), r.Dropped())
+	}
+
+	// Refill past the wrap: drained slots must not count as drops.
+	for i := 6; i < 10; i++ {
+		r.Load(LoadEvent{File: int64(i)})
+	}
+	if r.Dropped() != 2 {
+		t.Fatalf("Dropped = %d after refilling drained slots, want still 2", r.Dropped())
+	}
+	if got := ringFiles(r.Drain()); !reflect.DeepEqual(got, []int64{6, 7, 8, 9}) {
+		t.Fatalf("second Drain = %v, want [6 7 8 9]", got)
+	}
+	// One more push after a wrapped-then-drained cycle.
+	r.Load(LoadEvent{File: 10})
+	if got := ringFiles(r.Events()); !reflect.DeepEqual(got, []int64{10}) {
+		t.Fatalf("Events after drain+push = %v, want [10]", got)
+	}
+}

@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"math"
+	"sort"
+)
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) of a histogram metric from
+// its cumulative fixed buckets, the same way Prometheus's
+// histogram_quantile does: find the bucket containing the target rank and
+// interpolate linearly inside it, taking 0 as the lower edge of the first
+// bucket (every layout in this repo observes non-negative values). A rank
+// that lands in the implicit +Inf bucket is clamped to the highest finite
+// bound — fixed buckets cannot resolve beyond it. Returns NaN when m is not
+// a histogram, has no observations, or q is NaN.
+//
+// The estimate is exact whenever the observed values coincide with bucket
+// bounds (see the table-driven tests); otherwise it is accurate to within
+// the containing bucket's width.
+func (m Metric) Quantile(q float64) float64 {
+	if m.Kind != KindHistogram || len(m.Buckets) == 0 || m.Count <= 0 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(m.Count)
+	i := sort.Search(len(m.Buckets), func(i int) bool {
+		return float64(m.Buckets[i].Count) >= rank
+	})
+	if i == len(m.Buckets) {
+		i-- // counts are cumulative, so only reachable via float fuzz at q≈1
+	}
+	if math.IsInf(m.Buckets[i].UpperBound, 1) {
+		// The +Inf bucket: everything we know is "above the last bound".
+		if i == 0 {
+			return math.NaN()
+		}
+		return m.Buckets[i-1].UpperBound
+	}
+	lower, before := 0.0, int64(0)
+	if i > 0 {
+		lower = m.Buckets[i-1].UpperBound
+		before = m.Buckets[i-1].Count
+	}
+	in := float64(m.Buckets[i].Count - before)
+	if in <= 0 {
+		return m.Buckets[i].UpperBound
+	}
+	return lower + (m.Buckets[i].UpperBound-lower)*(rank-float64(before))/in
+}
+
+// P50P90P99 returns the three headline quantiles of a histogram metric in
+// one call — the summary line fbtrace prints and srm.NewRegistry exposes.
+func (m Metric) P50P90P99() (p50, p90, p99 float64) {
+	return m.Quantile(0.50), m.Quantile(0.90), m.Quantile(0.99)
+}
+
+// Quantile estimates the q-quantile of the live histogram from its current
+// bucket counts (see Metric.Quantile for the estimator). It snapshots the
+// counts internally, so it is safe to call while observations continue.
+func (h *Histogram) Quantile(q float64) float64 {
+	m := Metric{Kind: KindHistogram}
+	m.Buckets = make([]Bucket, len(h.bounds)+1)
+	cum := int64(0)
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		ub := math.Inf(1)
+		if i < len(h.bounds) {
+			ub = h.bounds[i]
+		}
+		m.Buckets[i] = Bucket{UpperBound: ub, Count: cum}
+	}
+	// Concurrent Observe calls can land between the Count() read and the
+	// bucket loads; trust the buckets, they are what we interpolate over.
+	m.Count = m.Buckets[len(m.Buckets)-1].Count
+	return m.Quantile(q)
+}

@@ -237,21 +237,41 @@ func (r *Registry) NewGauge(name, help string) *Gauge {
 	return g
 }
 
-// NewHistogram registers and returns a histogram with the given upper
-// bounds (sorted ascending; an implicit +Inf bucket is appended).
-func (r *Registry) NewHistogram(name, help string, bounds []float64) *Histogram {
+// NewHistogram returns an unregistered histogram with the given upper
+// bounds (sorted ascending; an implicit +Inf bucket is appended) — for
+// components that observe before, or without, a registry existing (e.g.
+// internal/srm records request sizes from Stage and only exposes the
+// distribution once NewRegistry attaches). Expose it later with
+// Registry.RegisterHistogram. Panics on an empty or unsorted layout.
+func NewHistogram(bounds []float64) *Histogram {
 	if len(bounds) == 0 {
-		panic(fmt.Sprintf("obs: histogram %q needs at least one bucket bound", name))
+		panic("obs: histogram needs at least one bucket bound")
 	}
 	if !sort.Float64sAreSorted(bounds) {
-		panic(fmt.Sprintf("obs: histogram %q bounds not sorted", name))
+		panic("obs: histogram bounds not sorted")
 	}
-	h := &Histogram{
+	return &Histogram{
 		bounds: append([]float64(nil), bounds...),
 		counts: make([]atomic.Int64, len(bounds)+1),
 	}
+}
+
+// NewHistogram registers and returns a histogram with the given upper
+// bounds (sorted ascending; an implicit +Inf bucket is appended).
+func (r *Registry) NewHistogram(name, help string, bounds []float64) *Histogram {
+	h := NewHistogram(bounds)
 	r.register(&metric{name: name, help: help, kind: KindHistogram, hist: h})
 	return h
+}
+
+// RegisterHistogram exposes an existing histogram (see the package-level
+// NewHistogram) under name. The registry holds a reference, not a copy:
+// observations made after registration show up in later snapshots.
+func (r *Registry) RegisterHistogram(name, help string, h *Histogram) {
+	if h == nil {
+		panic(fmt.Sprintf("obs: RegisterHistogram(%q) with nil histogram", name))
+	}
+	r.register(&metric{name: name, help: help, kind: KindHistogram, hist: h})
 }
 
 // CounterFunc registers a counter whose value is read from fn at snapshot
@@ -373,6 +393,12 @@ func (s Snapshot) Get(name string) (Metric, bool) {
 // Delta returns s with every counter and histogram reduced by its value in
 // prev (gauges pass through unchanged): the activity between the two
 // snapshots. Metrics absent from prev are returned as-is.
+//
+// Counter resets are handled the way Prometheus's rate() handles them: if a
+// counter's value (or a histogram's observation count) went backwards —
+// prev was taken from a since-restarted component, or from a different
+// registry that happened to share names — the metric is returned as-is, the
+// activity since the reset, rather than as a nonsense negative delta.
 func (s Snapshot) Delta(prev Snapshot) Snapshot {
 	out := Snapshot{Metrics: make([]Metric, len(s.Metrics))}
 	copy(out.Metrics, s.Metrics)
@@ -381,6 +407,12 @@ func (s Snapshot) Delta(prev Snapshot) Snapshot {
 		p, ok := prev.Get(m.Name)
 		if !ok || m.Kind == KindGauge {
 			continue
+		}
+		if m.Kind == KindCounter && m.Value < p.Value {
+			continue // reset: report the raw post-reset value
+		}
+		if m.Kind == KindHistogram && m.Count < p.Count {
+			continue // reset: report the raw post-reset distribution
 		}
 		m.Value -= p.Value
 		if m.Kind == KindHistogram {

@@ -67,12 +67,20 @@ func (s *JSONLSink) JobServed(e JobServedEvent) { s.emit("job_served", e) }
 
 // RingSink keeps the most recent capacity events in memory — a flight
 // recorder for tests and post-mortem inspection. Safe for concurrent use.
+//
+// Wrap semantics: once the (capacity+1)-th event is pushed the ring starts
+// overwriting its oldest slot, so a reader only ever sees the newest
+// `capacity` events; Dropped counts the overwritten ones. Events and Drain
+// copy the buffer under the ring's lock, so a snapshot taken while other
+// goroutines push is a consistent contiguous suffix of the emission order —
+// a wrap can happen before or after a snapshot, never "inside" one.
 type RingSink struct {
-	mu    sync.Mutex
-	buf   []any
-	next  int
-	wrap  bool
-	total int64
+	mu      sync.Mutex
+	buf     []any
+	next    int
+	wrap    bool
+	total   int64
+	dropped int64
 }
 
 // NewRingSink returns a ring holding up to capacity events (min 1).
@@ -86,6 +94,9 @@ func NewRingSink(capacity int) *RingSink {
 func (r *RingSink) push(ev any) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if r.buf[r.next] != nil {
+		r.dropped++ // overwriting an event nobody drained
+	}
 	r.buf[r.next] = ev
 	r.next++
 	r.total++
@@ -95,16 +106,49 @@ func (r *RingSink) push(ev any) {
 	}
 }
 
-// Events returns the buffered events oldest-first.
-func (r *RingSink) Events() []any {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+// eventsLocked copies the buffered events oldest-first; r.mu must be held.
+func (r *RingSink) eventsLocked() []any {
 	if !r.wrap {
 		return append([]any(nil), r.buf[:r.next]...)
 	}
 	out := make([]any, 0, len(r.buf))
-	out = append(out, r.buf[r.next:]...)
-	return append(out, r.buf[:r.next]...)
+	// After a wrap, buf[next:] holds the oldest events and buf[:next] the
+	// newest — at the exact wrap boundary (next == 0) this is the whole
+	// buffer in push order. Drained slots are nil and skipped.
+	for _, ev := range r.buf[r.next:] {
+		if ev != nil {
+			out = append(out, ev)
+		}
+	}
+	for _, ev := range r.buf[:r.next] {
+		if ev != nil {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// Events returns the buffered events oldest-first, leaving them buffered.
+func (r *RingSink) Events() []any {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.eventsLocked()
+}
+
+// Drain returns the buffered events in emission order and empties the ring:
+// a subsequent Events, or another Drain, observes only later pushes. Total
+// and Dropped are preserved — draining consumes events, it does not drop
+// them.
+func (r *RingSink) Drain() []any {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := r.eventsLocked()
+	for i := range r.buf {
+		r.buf[i] = nil
+	}
+	r.next = 0
+	r.wrap = false
+	return out
 }
 
 // Total reports how many events were ever pushed (including overwritten ones).
@@ -112,6 +156,14 @@ func (r *RingSink) Total() int64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.total
+}
+
+// Dropped reports how many events were overwritten before any Drain
+// retrieved them — the flight recorder's data-loss counter.
+func (r *RingSink) Dropped() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
 }
 
 // Admit implements Tracer.

@@ -1,5 +1,7 @@
 package obs
 
+import "fmt"
+
 // Event time semantics: every event carries an At float64. Simulation layers
 // (internal/simulate.RunEvents) stamp sim-time seconds; policy and cache
 // layers, which have no clock at all, stamp a monotone per-component ordinal
@@ -38,6 +40,24 @@ func (p StagePhase) String() string {
 // readable and stable across const reordering.
 func (p StagePhase) MarshalJSON() ([]byte, error) {
 	return []byte(`"` + p.String() + `"`), nil
+}
+
+// UnmarshalJSON parses the lowercase phase names MarshalJSON emits, so
+// JSONL traces decode back into typed events (see internal/obs/traceio).
+func (p *StagePhase) UnmarshalJSON(data []byte) error {
+	switch string(data) {
+	case `"start"`:
+		*p = StageStart
+	case `"retry"`:
+		*p = StageRetry
+	case `"failover"`:
+		*p = StageFailover
+	case `"done"`:
+		*p = StageDone
+	default:
+		return fmt.Errorf("obs: unknown stage phase %s", data)
+	}
+	return nil
 }
 
 // AdmitEvent is emitted once per bundle admission decision by a policy
@@ -109,11 +129,21 @@ type StageEvent struct {
 
 // JobServedEvent is emitted once per completed job request.
 type JobServedEvent struct {
-	At             float64 `json:"at"`
-	Job            int     `json:"job"`
-	Hit            bool    `json:"hit"`
-	ResponseSec    float64 `json:"response_sec,omitempty"`
-	StagingSec     float64 `json:"staging_sec,omitempty"`
+	At          float64 `json:"at"`
+	Job         int     `json:"job"`
+	Hit         bool    `json:"hit"`
+	ResponseSec float64 `json:"response_sec,omitempty"`
+	StagingSec  float64 `json:"staging_sec,omitempty"`
+	// QueuedAt is when the job entered the wait queue (its arrival, in the
+	// trace's time unit — sim-time seconds for the event simulator, the job
+	// ordinal for the trace-driven one, which has no queueing and stamps
+	// QueuedAt == FirstStageAt). Zero in traces from emitters that predate
+	// the field or have no queue semantics (e.g. srmbench client records).
+	QueuedAt float64 `json:"queued_at,omitempty"`
+	// FirstStageAt is when the job first won an execution slot and its
+	// bundle went through Admit; FirstStageAt - QueuedAt is the queue-wait
+	// leg of the job's critical path (see internal/obs/analyze).
+	FirstStageAt   float64 `json:"first_stage_at,omitempty"`
 	BytesRequested int64   `json:"bytes_requested"`
 	BytesLoaded    int64   `json:"bytes_loaded"`
 }

@@ -1,0 +1,238 @@
+// Package traceio reads and re-writes the JSONL event traces produced by
+// obs.JSONLSink (cachesim -trace-out, srmbench -trace-out, the golden trace
+// under internal/simulate/testdata): a streaming decoder that turns each
+// {"kind":...,"ev":...} line back into the typed obs event it came from, and
+// a writer that re-encodes events byte-identically to the live sink, so
+// Read∘Write is the identity on well-formed traces.
+//
+// Decoding is streaming — Decoder.Next returns one event at a time without
+// holding the trace in memory — and comes in two modes. Strict fails on the
+// first malformed line (truncated JSON, unknown kind, mistyped field) with
+// its line number; Lenient skips such lines and counts them, for salvaging
+// analytics from a trace whose writer crashed mid-line. The offline
+// analytics over these events live in internal/obs/analyze and are driven
+// by cmd/fbtrace.
+package traceio
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"fbcache/internal/obs"
+)
+
+// The kind discriminators, exactly as obs.JSONLSink writes them.
+const (
+	KindAdmit       = "admit"
+	KindLoad        = "load"
+	KindEvict       = "evict"
+	KindSelectRound = "select_round"
+	KindCreditDecay = "credit_decay"
+	KindStage       = "stage"
+	KindJobServed   = "job_served"
+)
+
+// Event is one decoded trace line: the kind discriminator plus the typed
+// payload — one of the seven obs event structs, held by value.
+type Event struct {
+	Kind string
+	Ev   any
+}
+
+// Mode selects how the decoder treats malformed lines.
+type Mode int
+
+const (
+	// Strict fails on the first malformed line, reporting its line number.
+	Strict Mode = iota
+	// Lenient skips malformed lines and counts them (Decoder.Skipped).
+	Lenient
+)
+
+// maxLine bounds one trace line; a line longer than this is malformed by
+// construction (the longest legitimate event is well under 1 KiB).
+const maxLine = 1 << 20
+
+func decodeAs[T any](raw json.RawMessage) (any, error) {
+	var e T
+	if err := json.Unmarshal(raw, &e); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+var decoders = map[string]func(json.RawMessage) (any, error){
+	KindAdmit:       decodeAs[obs.AdmitEvent],
+	KindLoad:        decodeAs[obs.LoadEvent],
+	KindEvict:       decodeAs[obs.EvictEvent],
+	KindSelectRound: decodeAs[obs.SelectRoundEvent],
+	KindCreditDecay: decodeAs[obs.CreditDecayEvent],
+	KindStage:       decodeAs[obs.StageEvent],
+	KindJobServed:   decodeAs[obs.JobServedEvent],
+}
+
+// KindOf reports the kind discriminator for a typed event payload, and
+// whether ev is one of the seven trace event types.
+func KindOf(ev any) (string, bool) {
+	switch ev.(type) {
+	case obs.AdmitEvent:
+		return KindAdmit, true
+	case obs.LoadEvent:
+		return KindLoad, true
+	case obs.EvictEvent:
+		return KindEvict, true
+	case obs.SelectRoundEvent:
+		return KindSelectRound, true
+	case obs.CreditDecayEvent:
+		return KindCreditDecay, true
+	case obs.StageEvent:
+		return KindStage, true
+	case obs.JobServedEvent:
+		return KindJobServed, true
+	}
+	return "", false
+}
+
+// Decoder streams events out of a JSONL trace.
+type Decoder struct {
+	sc      *bufio.Scanner
+	mode    Mode
+	line    int
+	skipped int
+}
+
+// NewDecoder wraps r. The caller owns r's lifecycle.
+func NewDecoder(r io.Reader, mode Mode) *Decoder {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), maxLine)
+	return &Decoder{sc: sc, mode: mode}
+}
+
+// Next returns the next event, or io.EOF at the end of the trace. Blank
+// lines are skipped in both modes (a trailing newline is not an error). In
+// Strict mode any malformed line aborts with an error naming it; in Lenient
+// mode malformed lines are counted and skipped — only I/O errors (including
+// a line exceeding the 1 MiB bound, which the underlying scanner cannot
+// recover from) are returned.
+func (d *Decoder) Next() (Event, error) {
+	for d.sc.Scan() {
+		d.line++
+		line := bytes.TrimSpace(d.sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		ev, err := decodeLine(line)
+		if err != nil {
+			if d.mode == Lenient {
+				d.skipped++
+				continue
+			}
+			return Event{}, fmt.Errorf("traceio: line %d: %w", d.line, err)
+		}
+		return ev, nil
+	}
+	if err := d.sc.Err(); err != nil {
+		return Event{}, fmt.Errorf("traceio: line %d: %w", d.line+1, err)
+	}
+	return Event{}, io.EOF
+}
+
+// Line reports the number of lines consumed so far (1-based after the first
+// Next), for error attribution by callers doing their own validation.
+func (d *Decoder) Line() int { return d.line }
+
+// Skipped reports how many malformed lines a Lenient decoder has dropped.
+func (d *Decoder) Skipped() int { return d.skipped }
+
+func decodeLine(line []byte) (Event, error) {
+	var rec struct {
+		Kind string          `json:"kind"`
+		Ev   json.RawMessage `json:"ev"`
+	}
+	if err := json.Unmarshal(line, &rec); err != nil {
+		return Event{}, err
+	}
+	dec, ok := decoders[rec.Kind]
+	if !ok {
+		return Event{}, fmt.Errorf("unknown event kind %q", rec.Kind)
+	}
+	if len(rec.Ev) == 0 {
+		return Event{}, fmt.Errorf("event kind %q has no payload", rec.Kind)
+	}
+	ev, err := dec(rec.Ev)
+	if err != nil {
+		return Event{}, fmt.Errorf("decoding %q payload: %w", rec.Kind, err)
+	}
+	return Event{Kind: rec.Kind, Ev: ev}, nil
+}
+
+// ReadAll decodes a whole trace. In Lenient mode the skipped-line count is
+// also returned; in Strict mode it is always zero.
+func ReadAll(r io.Reader, mode Mode) (events []Event, skipped int, err error) {
+	d := NewDecoder(r, mode)
+	for {
+		ev, err := d.Next()
+		if err == io.EOF {
+			return events, d.skipped, nil
+		}
+		if err != nil {
+			return events, d.skipped, err
+		}
+		events = append(events, ev)
+	}
+}
+
+// ReadFile is ReadAll over a file.
+func ReadFile(path string, mode Mode) (events []Event, skipped int, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer func() {
+		_ = f.Close() // read-only handle
+	}()
+	return ReadAll(f, mode)
+}
+
+// Dispatch replays e into t, calling the Tracer method matching the payload
+// type — the bridge from decoded traces back to live consumers (StatsSink
+// for counting, JSONLSink for re-encoding, the analyze reducers).
+func Dispatch(t obs.Tracer, e Event) error {
+	switch ev := e.Ev.(type) {
+	case obs.AdmitEvent:
+		t.Admit(ev)
+	case obs.LoadEvent:
+		t.Load(ev)
+	case obs.EvictEvent:
+		t.Evict(ev)
+	case obs.SelectRoundEvent:
+		t.SelectRound(ev)
+	case obs.CreditDecayEvent:
+		t.CreditDecay(ev)
+	case obs.StageEvent:
+		t.Stage(ev)
+	case obs.JobServedEvent:
+		t.JobServed(ev)
+	default:
+		return fmt.Errorf("traceio: cannot dispatch payload of type %T", e.Ev)
+	}
+	return nil
+}
+
+// Write re-encodes events through an obs.JSONLSink, so the output is
+// byte-identical to what a live sink would have produced for the same event
+// sequence: ReadAll(Write(events)) round-trips and diffing a rewritten
+// trace against its source is a no-op.
+func Write(w io.Writer, events []Event) error {
+	sink := obs.NewJSONLSink(w)
+	for i, e := range events {
+		if err := Dispatch(sink, e); err != nil {
+			return fmt.Errorf("traceio: event %d: %w", i, err)
+		}
+	}
+	return sink.Err()
+}

@@ -12,6 +12,7 @@ import (
 	"fbcache/internal/bundle"
 	"fbcache/internal/cache"
 	"fbcache/internal/core"
+	"fbcache/internal/obs"
 )
 
 // Result reports the effect of admitting one request. It is structurally
@@ -49,6 +50,12 @@ type optAdapter struct{ p *core.OptFileBundle }
 
 func (a optAdapter) Name() string        { return a.p.Name() }
 func (a optAdapter) Cache() *cache.Cache { return a.p.Cache() }
+
+// SetTracer forwards to the wrapped policy so installers probing for the
+// optional SetTracer interface (cachesim's installTracer) reach the
+// policy-level emit sites (Admit, SelectRound), not only the cache's
+// Load/Evict stream.
+func (a optAdapter) SetTracer(t obs.Tracer) { a.p.SetTracer(t) }
 
 func (a optAdapter) Admit(b bundle.Bundle) Result {
 	r := a.p.Admit(b)

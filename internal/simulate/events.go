@@ -452,7 +452,14 @@ func RunEvents(w *workload.Workload, p policy.Policy, opts EventOptions) (EventS
 		// the retry stages them again even though they look resident.
 		attempts = make([]int, len(jobs))
 		restage  = make(map[int]bundle.Bundle)
+		// firstStage records when each job first won a slot (its bundle's
+		// first Admit); requeued attempts keep the original stamp so the
+		// JobServed critical path separates queue wait from retry churn.
+		firstStage = make([]float64, len(jobs))
 	)
+	for i := range firstStage {
+		firstStage[i] = -1
+	}
 	maxJobAttempts := inj.Scenario().MaxJobAttempts
 
 	for i := range jobs {
@@ -477,6 +484,9 @@ func RunEvents(w *workload.Workload, p policy.Policy, opts EventOptions) (EventS
 			}
 			j := waiting[pick]
 			waiting = append(waiting[:pick], waiting[pick+1:]...)
+			if firstStage[j] < 0 {
+				firstStage[j] = now
+			}
 
 			b := w.Requests[jobs[j]]
 			res := p.Admit(b)
@@ -576,6 +586,8 @@ func RunEvents(w *workload.Workload, p policy.Policy, opts EventOptions) (EventS
 					At: e.at, Job: r.jobIdx, Hit: r.hit,
 					ResponseSec:    e.at - r.arrival,
 					StagingSec:     r.staged - r.arrival,
+					QueuedAt:       r.arrival,
+					FirstStageAt:   firstStage[r.jobIdx],
 					BytesRequested: int64(r.bundleRef.TotalSize(sizeOf)),
 					BytesLoaded:    int64(r.loaded),
 				})

@@ -59,10 +59,14 @@ func Run(w *workload.Workload, p policy.Policy, opts Options) (*metrics.Collecto
 		res := p.Admit(b)
 		served++
 		if opts.Tracer != nil {
+			// No queueing is modelled here, so queue entry and first stage
+			// coincide with service: the critical-path queue wait is zero.
 			opts.Tracer.JobServed(obs.JobServedEvent{
 				At:             float64(served),
 				Job:            served - 1,
 				Hit:            res.Hit,
+				QueuedAt:       float64(served),
+				FirstStageAt:   float64(served),
 				BytesRequested: int64(res.BytesRequested),
 				BytesLoaded:    int64(res.BytesLoaded),
 			})

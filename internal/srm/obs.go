@@ -41,6 +41,24 @@ func NewRegistry(s *SRM) *obs.Registry {
 	reg.GaugeFunc("fbcache_pinned_bytes",
 		"Bytes pinned by running jobs.",
 		stat(func(sn Snapshot) float64 { return float64(sn.PinnedBytes) }))
+	reg.RegisterHistogram("fbcache_request_bytes",
+		"Requested bundle size per Stage call, in bytes.", s.reqBytes)
+	quantile := func(q float64) func() float64 {
+		return func() float64 {
+			// NaN (empty histogram) would poison the /debug/vars JSON
+			// rendering; scrape 0 until the first request arrives.
+			if s.reqBytes.Count() == 0 {
+				return 0
+			}
+			return s.reqBytes.Quantile(q)
+		}
+	}
+	reg.GaugeFunc("fbcache_request_bytes_p50",
+		"Median requested bundle size (histogram estimate), in bytes.", quantile(0.50))
+	reg.GaugeFunc("fbcache_request_bytes_p90",
+		"90th-percentile requested bundle size (histogram estimate), in bytes.", quantile(0.90))
+	reg.GaugeFunc("fbcache_request_bytes_p99",
+		"99th-percentile requested bundle size (histogram estimate), in bytes.", quantile(0.99))
 	metrics.ExportResilience(reg, func() metrics.Resilience { return s.Stats().Resilience })
 	reg.GaugeFunc(`fbcache_info{policy="`+s.Stats().Policy+`"}`,
 		"Constant 1; the label carries the replacement policy in use.",

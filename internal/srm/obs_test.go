@@ -131,3 +131,57 @@ func TestSnapshotResilienceIsolation(t *testing.T) {
 		t.Errorf("live retries = %d, want 4", got)
 	}
 }
+
+// The request-size histogram feeds both the Prometheus exposition and the
+// quantile gauges; before any request the gauges must read 0, not NaN
+// (NaN is unrepresentable in the /debug/vars JSON rendering).
+func TestRegistryRequestBytesHistogram(t *testing.T) {
+	s, _ := newTestSRM(100*bundle.MB, 4*bundle.MB, 12*bundle.MB)
+	reg := NewRegistry(s)
+
+	snap := reg.Snapshot()
+	for _, name := range []string{"fbcache_request_bytes_p50", "fbcache_request_bytes_p90", "fbcache_request_bytes_p99"} {
+		m, ok := snap.Get(name)
+		if !ok {
+			t.Fatalf("metric %s missing", name)
+		}
+		if m.Value != 0 {
+			t.Errorf("%s = %g before any request, want 0", name, m.Value)
+		}
+	}
+	if m, ok := snap.Get("fbcache_request_bytes"); !ok || m.Count != 0 {
+		t.Fatalf("fbcache_request_bytes = %+v, want empty histogram", m)
+	}
+
+	rel, _, err := s.Stage(bundle.New(0, 1)) // 16 MB request
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel()
+
+	snap = reg.Snapshot()
+	m, _ := snap.Get("fbcache_request_bytes")
+	if m.Count != 1 || m.Sum != float64(16*bundle.MB) {
+		t.Errorf("histogram count/sum = %d/%g, want 1/%d", m.Count, m.Sum, 16*bundle.MB)
+	}
+	p50, _ := snap.Get("fbcache_request_bytes_p50")
+	// One observation in the (8 MB, 16 MB] bucket: the estimate stays
+	// inside that bucket.
+	if p50.Value <= float64(8*bundle.MB) || p50.Value > float64(16*bundle.MB) {
+		t.Errorf("p50 = %g, want within (8MB, 16MB]", p50.Value)
+	}
+
+	var sb strings.Builder
+	if err := snap.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"# TYPE fbcache_request_bytes histogram",
+		`fbcache_request_bytes_bucket{le="+Inf"} 1`,
+		"fbcache_request_bytes_count 1",
+	} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("scrape missing %q", want)
+		}
+	}
+}

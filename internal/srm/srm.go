@@ -15,6 +15,7 @@ import (
 
 	"fbcache/internal/bundle"
 	"fbcache/internal/metrics"
+	"fbcache/internal/obs"
 	"fbcache/internal/policy"
 	"fbcache/internal/store"
 )
@@ -49,6 +50,11 @@ type SRM struct {
 	res         metrics.Resilience
 	store       *store.Store // optional; see WithStore
 
+	// reqBytes records the requested size of every Stage call (including
+	// unserviceable ones). The histogram is atomic internally, so it is
+	// observed here and scraped from NewRegistry without involving mu.
+	reqBytes *obs.Histogram
+
 	// stageTimeout bounds how long one Stage may block waiting for pinned
 	// capacity; 0 means wait forever. See WithStageTimeout.
 	stageTimeout time.Duration
@@ -63,7 +69,11 @@ func New(pol policy.Policy, cat *bundle.Catalog) *SRM {
 	if pol == nil || cat == nil {
 		panic("srm: nil policy or catalog")
 	}
-	s := &SRM{pol: pol, cat: cat, sizeOf: cat.SizeFunc(), storeAttempts: 3}
+	s := &SRM{
+		pol: pol, cat: cat, sizeOf: cat.SizeFunc(), storeAttempts: 3,
+		// 1 MB .. 32 GB in powers of two; larger requests land in +Inf.
+		reqBytes: obs.NewHistogram(obs.ExpBuckets(float64(bundle.MB), 2, 16)),
+	}
 	s.cond = sync.NewCond(&s.mu)
 	return s
 }
@@ -105,6 +115,7 @@ type Release func()
 // Release must be called when the job finishes processing.
 func (s *SRM) Stage(b bundle.Bundle) (Release, policy.Result, error) {
 	size := b.TotalSize(s.sizeOf)
+	s.reqBytes.Observe(float64(size))
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
