@@ -7,7 +7,7 @@ GO ?= go
 #   make fuzz FUZZTIME=5m
 FUZZTIME ?= 30s
 
-.PHONY: all build test test-invariant lint vet fbvet doc-lint race bench bench-guard bench-json trace-check fuzz soak clean
+.PHONY: all build test test-invariant lint vet fbvet sarif doc-lint race bench bench-guard bench-json bench-require trace-check fuzz soak clean
 
 all: build lint test
 
@@ -25,8 +25,10 @@ test-invariant:
 
 # lint = the stock vet suite plus fbvet, the repo-specific analyzers
 # (mapiter, floateq, lockcheck, sizeunits, ndtaint, errflow, hotalloc,
-# retrybound, pkgdoc, allowcheck). Both must be clean; findings are
-# suppressed only by a justified //fbvet:allow directive.
+# retrybound, pkgdoc, and the interprocedural concurrency suite: lockorder,
+# guardedby, goroleak, allowcheck). Both must be clean; findings are
+# suppressed only by a justified //fbvet:allow directive, and allowcheck
+# flags directives that no longer suppress anything.
 lint: vet fbvet
 
 vet:
@@ -34,6 +36,12 @@ vet:
 
 fbvet:
 	$(GO) run ./cmd/fbvet ./...
+
+# sarif emits the fbvet findings as a SARIF 2.1.0 log (fbvet.sarif) and
+# structurally validates it — the artifact CI uploads for code scanning.
+sarif:
+	$(GO) run ./cmd/fbvet -format=sarif ./... > fbvet.sarif
+	$(GO) run ./cmd/fbvet -validate fbvet.sarif
 
 # doc-lint runs only the documentation contract: every package must carry a
 # package comment (opening "Package <name>" for library packages) stating
@@ -67,6 +75,20 @@ bench-json:
 		-benchmem -benchtime=100x ./internal/core/ ./internal/policy/landlord/ ./internal/simulate/ \
 		| $(GO) run ./cmd/benchjson -require OptCacheSelect -require Landlord -out BENCH_core.json
 	@echo wrote BENCH_core.json
+
+# bench-require re-runs the bench-json benchmarks and compares against the
+# checked-in BENCH_core.json: any lost benchmark or allocs/op increase
+# beyond 1% fails (the hot loops are near-deterministic; the 1% absorbs
+# ±1-alloc amortized-map-growth jitter at -benchtime=100x); ns/op may
+# drift up to NSRATIO× before failing (shared runners are noisy — the
+# alloc gate is the load-bearing one). Regenerate the baseline with
+# `make bench-json` when a perf change is intentional.
+NSRATIO ?= 10
+bench-require:
+	$(GO) test -run '^$$' -bench 'OptCacheSelect|BenchmarkLandlord|RunEvents|Run(OptFileBundle|Landlord)1000' \
+		-benchmem -benchtime=100x ./internal/core/ ./internal/policy/landlord/ ./internal/simulate/ \
+		| $(GO) run ./cmd/benchjson -require OptCacheSelect -require Landlord \
+			-baseline BENCH_core.json -max-ns-ratio $(NSRATIO) -max-alloc-ratio 1.01 -out /dev/null
 
 # trace-check replays the golden event trace through the offline validator:
 # reconstructed residency must satisfy the cache invariants at the golden

@@ -8,6 +8,15 @@
 // matches the regular expression; a run whose output lost an expected
 // benchmark (build failure, renamed function) fails loudly instead of
 // writing a silently thinner file.
+//
+// -baseline FILE compares the parsed run against a previous benchjson
+// document and exits 1 on regression: any benchmark that disappeared, any
+// allocs/op above baseline×-max-alloc-ratio (default 1.0 = exact), and —
+// when -max-ns-ratio is above 0 — any ns/op exceeding baseline×ratio.
+// Timing on shared CI runners is noisy, so the ns gate defaults off and CI
+// runs it with a generous bound; allocs/op is the load-bearing check, with
+// a hair of slack (CI uses 1.01) for benchmarks whose amortized map growth
+// lands a ±1 jitter at small -benchtime.
 package main
 
 import (
@@ -62,10 +71,13 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	out := fs.String("out", "", "output file (default stdout)")
+	baseline := fs.String("baseline", "", "previous benchjson file to compare against; regressions exit 1")
+	maxNsRatio := fs.Float64("max-ns-ratio", 0, "with -baseline, fail when ns/op > baseline*ratio (0 disables the timing gate)")
+	maxAllocRatio := fs.Float64("max-alloc-ratio", 1.0, "with -baseline, fail when allocs/op > baseline*ratio")
 	var require multiFlag
 	fs.Var(&require, "require", "regexp at least one benchmark name must match (repeatable)")
 	fs.Usage = func() {
-		fmt.Fprintln(stderr, "usage: benchjson [-out FILE] [-require RE]... [bench-output.txt]")
+		fmt.Fprintln(stderr, "usage: benchjson [-out FILE] [-baseline FILE [-max-ns-ratio R]] [-require RE]... [bench-output.txt]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -118,6 +130,31 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		}
 	}
 
+	if *baseline != "" {
+		data, err := os.ReadFile(*baseline)
+		if err != nil {
+			fmt.Fprintf(stderr, "benchjson: %v\n", err)
+			return 1
+		}
+		var base File
+		if err := json.Unmarshal(data, &base); err != nil {
+			fmt.Fprintf(stderr, "benchjson: %s: %v\n", *baseline, err)
+			return 1
+		}
+		if base.Schema != Schema {
+			fmt.Fprintf(stderr, "benchjson: %s has schema %q, want %q\n", *baseline, base.Schema, Schema)
+			return 1
+		}
+		regressions, compared := Compare(base, doc, *maxNsRatio, *maxAllocRatio)
+		for _, r := range regressions {
+			fmt.Fprintf(stderr, "benchjson: regression: %s\n", r)
+		}
+		if len(regressions) > 0 {
+			return 1
+		}
+		fmt.Fprintf(stderr, "benchjson: no regressions vs %s (%d benchmarks compared)\n", *baseline, compared)
+	}
+
 	enc, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		fmt.Fprintf(stderr, "benchjson: %v\n", err)
@@ -134,6 +171,43 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// Compare reports every regression of cur against base, plus how many
+// benchmarks were actually compared. A benchmark is matched by package and
+// name (including the -P GOMAXPROCS suffix); benchmarks present only in cur
+// are new coverage and never a regression, but every baseline benchmark
+// must still exist. Allocations regress when they exceed base×allocRatio
+// (1.0 = exact; the hot loops are single-goroutine and near-deterministic,
+// but amortized map growth can jitter large counts by ±1 at small
+// -benchtime). ns/op is gated only when nsRatio > 0, because wall time on
+// shared runners is not reproducible enough for a tight bound.
+func Compare(base, cur File, nsRatio, allocRatio float64) (regressions []string, compared int) {
+	key := func(b Benchmark) string { return b.Pkg + " " + b.Name }
+	current := make(map[string]Benchmark, len(cur.Benchmarks))
+	for _, b := range cur.Benchmarks {
+		current[key(b)] = b
+	}
+	for _, old := range base.Benchmarks {
+		now, ok := current[key(old)]
+		if !ok {
+			regressions = append(regressions,
+				fmt.Sprintf("%s %s: present in baseline but missing from this run", old.Pkg, old.Name))
+			continue
+		}
+		compared++
+		if float64(now.AllocsPerOp) > float64(old.AllocsPerOp)*allocRatio {
+			regressions = append(regressions,
+				fmt.Sprintf("%s %s: allocs/op %d -> %d (limit %.2fx)",
+					old.Pkg, old.Name, old.AllocsPerOp, now.AllocsPerOp, allocRatio))
+		}
+		if nsRatio > 0 && now.NsPerOp > old.NsPerOp*nsRatio {
+			regressions = append(regressions,
+				fmt.Sprintf("%s %s: ns/op %.1f -> %.1f (limit %.1fx = %.1f)",
+					old.Pkg, old.Name, old.NsPerOp, now.NsPerOp, nsRatio, old.NsPerOp*nsRatio))
+		}
+	}
+	return regressions, compared
 }
 
 // Parse reads `go test -bench` text output. Context lines (goos/goarch/

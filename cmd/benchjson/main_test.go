@@ -112,3 +112,113 @@ func TestRunStdout(t *testing.T) {
 		t.Errorf("stdout: %s", stdout.String())
 	}
 }
+
+func bench(pkg, name string, ns float64, allocs int64) Benchmark {
+	return Benchmark{Pkg: pkg, Name: name, NsPerOp: ns, AllocsPerOp: allocs}
+}
+
+// TestCompare pins the regression semantics: exact on allocs, ratio-gated
+// on time, missing benchmarks always fatal, new benchmarks never flagged.
+func TestCompare(t *testing.T) {
+	base := File{Schema: Schema, Benchmarks: []Benchmark{
+		bench("p", "BenchmarkA-8", 100, 5),
+		bench("p", "BenchmarkB-8", 100, 0),
+		bench("q", "BenchmarkGone-8", 100, 1),
+	}}
+	cur := File{Schema: Schema, Benchmarks: []Benchmark{
+		bench("p", "BenchmarkA-8", 250, 6),  // alloc +1, time 2.5x
+		bench("p", "BenchmarkB-8", 90, 0),   // improved
+		bench("p", "BenchmarkNew-8", 10, 3), // new coverage, not a regression
+	}}
+
+	regs, compared := Compare(base, cur, 0, 1.0)
+	if compared != 2 {
+		t.Errorf("compared = %d, want 2", compared)
+	}
+	if len(regs) != 2 {
+		t.Fatalf("ratio off: regs = %q, want alloc + missing", regs)
+	}
+	joined := strings.Join(regs, "\n")
+	if !strings.Contains(joined, "allocs/op 5 -> 6") || !strings.Contains(joined, "BenchmarkGone") {
+		t.Errorf("regs = %q", regs)
+	}
+	if strings.Contains(joined, "ns/op") {
+		t.Errorf("timing flagged with ratio disabled: %q", regs)
+	}
+
+	// The +1 alloc (5 -> 6, +20%) slips under a 1.25 slack but not 1.1.
+	regs, _ = Compare(base, cur, 0, 1.25)
+	if strings.Contains(strings.Join(regs, "\n"), "allocs/op") {
+		t.Errorf("alloc within slack still flagged: %q", regs)
+	}
+	regs, _ = Compare(base, cur, 0, 1.1)
+	if !strings.Contains(strings.Join(regs, "\n"), "allocs/op 5 -> 6") {
+		t.Errorf("alloc above slack not flagged: %q", regs)
+	}
+
+	regs, _ = Compare(base, cur, 2.0, 1.0)
+	if !strings.Contains(strings.Join(regs, "\n"), "ns/op 100.0 -> 250.0") {
+		t.Errorf("2.5x slowdown not flagged at ratio 2: %q", regs)
+	}
+	regs, _ = Compare(base, cur, 3.0, 1.0)
+	for _, r := range regs {
+		if strings.Contains(r, "ns/op") {
+			t.Errorf("2.5x slowdown flagged at ratio 3: %q", r)
+		}
+	}
+}
+
+// TestRunBaseline drives the flag end to end: a run is its own baseline
+// (exit 0), and a doctored slower/fatter baseline comparison fails.
+func TestRunBaseline(t *testing.T) {
+	dir := t.TempDir()
+	basePath := filepath.Join(dir, "base.json")
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-out", basePath}, strings.NewReader(sample), &stdout, &stderr); code != 0 {
+		t.Fatalf("writing baseline: code %d, stderr %s", code, stderr.String())
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	code := run([]string{"-baseline", basePath, "-max-ns-ratio", "1.5", "-out", filepath.Join(dir, "new.json")},
+		strings.NewReader(sample), &stdout, &stderr)
+	if code != 0 || !strings.Contains(stderr.String(), "no regressions") {
+		t.Fatalf("self-comparison: code %d, stderr %s", code, stderr.String())
+	}
+
+	// Shrink the baseline's allocs so the same input now regresses.
+	data, err := os.ReadFile(basePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doctored := strings.Replace(string(data), `"allocs_per_op": 789`, `"allocs_per_op": 788`, 1)
+	if doctored == string(data) {
+		t.Fatal("test fixture drifted: allocs_per_op 789 not found in baseline")
+	}
+	if err := os.WriteFile(basePath, []byte(doctored), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stderr.Reset()
+	code = run([]string{"-baseline", basePath}, strings.NewReader(sample), &stdout, &stderr)
+	if code != 1 || !strings.Contains(stderr.String(), "allocs/op 788 -> 789") {
+		t.Fatalf("doctored baseline: code %d, stderr %s", code, stderr.String())
+	}
+}
+
+// TestRunBaselineBadFile checks the failure modes before comparison.
+func TestRunBaselineBadFile(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-baseline", filepath.Join(t.TempDir(), "absent.json")},
+		strings.NewReader(sample), &stdout, &stderr); code != 1 {
+		t.Errorf("missing baseline: code %d", code)
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"schema":"other/v9"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stderr.Reset()
+	if code := run([]string{"-baseline", bad}, strings.NewReader(sample), &stdout, &stderr); code != 1 ||
+		!strings.Contains(stderr.String(), "schema") {
+		t.Errorf("wrong schema: code %d, stderr %s", code, stderr.String())
+	}
+}

@@ -4,11 +4,19 @@
 //	go run ./cmd/fbvet ./...          # whole repo, all analyzers
 //	go run ./cmd/fbvet -run mapiter,floateq ./internal/core
 //	go run ./cmd/fbvet -list          # describe the suite
+//	go run ./cmd/fbvet -format=sarif ./... > fbvet.sarif
+//	go run ./cmd/fbvet -validate fbvet.sarif
 //
 // fbvet exits 0 when no diagnostics are reported, 1 when findings exist,
 // and 2 on load or usage errors. Findings can be suppressed — with a
 // justification — by a `//fbvet:allow <analyzer>` comment on or directly
 // above the flagged line.
+//
+// -format=sarif writes the findings to stdout as a SARIF 2.1.0 log (one
+// run, one rule per analyzer in the suite) for CI code-scanning uploads;
+// the exit-code contract is unchanged, and the human summary still goes
+// to stderr. -validate structurally checks an existing SARIF file and
+// exits 0 (valid) or 2.
 package main
 
 import (
@@ -23,6 +31,8 @@ func main() {
 	var (
 		runList  = flag.String("run", "", "comma-separated analyzers to run (default: all)")
 		describe = flag.Bool("list", false, "list available analyzers and exit")
+		format   = flag.String("format", "text", "output format: text or sarif")
+		validate = flag.String("validate", "", "validate a SARIF file and exit (no analysis)")
 	)
 	flag.Parse()
 
@@ -31,6 +41,25 @@ func main() {
 			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
 		}
 		return
+	}
+
+	if *validate != "" {
+		data, err := os.ReadFile(*validate)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fbvet: %v\n", err)
+			os.Exit(2)
+		}
+		if err := validateSARIF(data); err != nil {
+			fmt.Fprintf(os.Stderr, "fbvet: %s: invalid SARIF: %v\n", *validate, err)
+			os.Exit(2)
+		}
+		fmt.Printf("%s: valid SARIF %s\n", *validate, sarifVersion)
+		return
+	}
+
+	if *format != "text" && *format != "sarif" {
+		fmt.Fprintf(os.Stderr, "fbvet: unknown -format %q (want text or sarif)\n", *format)
+		os.Exit(2)
 	}
 
 	suite := analyzers.All()
@@ -54,15 +83,30 @@ func main() {
 		os.Exit(2)
 	}
 
-	found := 0
+	var diags []analyzers.Diagnostic
 	for _, pkg := range pkgs {
-		for _, d := range analyzers.Run(pkg, suite) {
+		diags = append(diags, analyzers.Run(pkg, suite)...)
+	}
+
+	switch *format {
+	case "sarif":
+		// Load reports absolute positions; Rel against an absolute root
+		// is what makes the emitted URIs repo-relative.
+		root, err := os.Getwd()
+		if err != nil {
+			root = "."
+		}
+		if err := writeSARIF(os.Stdout, suite, diags, root); err != nil {
+			fmt.Fprintf(os.Stderr, "fbvet: writing SARIF: %v\n", err)
+			os.Exit(2)
+		}
+	default:
+		for _, d := range diags {
 			fmt.Println(d)
-			found++
 		}
 	}
-	if found > 0 {
-		fmt.Fprintf(os.Stderr, "fbvet: %d finding(s) in %d package(s)\n", found, len(pkgs))
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "fbvet: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
 		os.Exit(1)
 	}
 }

@@ -21,7 +21,16 @@
 //   - pkgdoc: every package must carry a package documentation comment
 //     (opening "Package <name>" for library packages) stating the paper
 //     section it implements and its pipeline role.
-//   - allowcheck: every //fbvet:allow directive must carry a justification.
+//   - allowcheck: every //fbvet:allow directive must carry a justification,
+//     name real analyzers, and actually suppress something.
+//   - lockorder: the lock-acquisition graph (followed through in-package
+//     helper calls, see summary.go) must be acyclic — a cycle is a
+//     potential deadlock — and no mutex may be re-acquired while held.
+//   - guardedby: fields annotated //fbvet:guardedby mu may only be touched
+//     with mu held on the same object, never written under RLock, and the
+//     annotated struct must not be copied.
+//   - goroleak: goroutines spawned in loops need a WaitGroup bound or a
+//     cancellation path; timers and tickers need a reachable Stop.
 //
 // The suite runs over packages type-checked with the standard library's
 // go/parser + go/types (loaded via `go list -export`, see load.go), so it
@@ -98,11 +107,13 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
 }
 
-// All returns the full fbvet suite: the per-file AST checks of PR 1 plus the
+// All returns the full fbvet suite: the per-file AST checks of PR 1, the
 // flow-sensitive dataflow analyzers (ndtaint, errflow, hotalloc — see
-// dataflow.go) and the allow-directive self-check.
+// dataflow.go), the interprocedural concurrency suite (lockorder,
+// guardedby, goroleak — see summary.go), and the allow-directive
+// self-check.
 func All() []*Analyzer {
-	return []*Analyzer{MapIter, FloatEq, LockCheck, SizeUnits, NDTaint, ErrFlow, HotAlloc, RetryBound, PkgDoc, AllowCheck}
+	return []*Analyzer{MapIter, FloatEq, LockCheck, SizeUnits, NDTaint, ErrFlow, HotAlloc, RetryBound, PkgDoc, LockOrder, GuardedBy, GoroLeak, AllowCheck}
 }
 
 // ByName resolves a comma-separated analyzer list ("mapiter,floateq").
@@ -130,8 +141,13 @@ func ByName(names string) ([]*Analyzer, error) {
 
 // Run applies the analyzers to one loaded package and returns the surviving
 // diagnostics sorted by position, with //fbvet:allow suppressions applied.
+// When allowcheck is among the analyzers, directives that name unknown
+// analyzers or suppress nothing (while the named analyzer ran) are
+// themselves reported — a stale allow is a hole in the net, so it cannot
+// linger silently.
 func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
-	allowed := collectAllows(pkg.Fset, pkg.Files)
+	directives, allowed := collectAllows(pkg.Fset, pkg.Files)
+	used := make(map[allowKey]bool)
 	var diags []Diagnostic
 	for _, a := range analyzers {
 		pass := &Pass{
@@ -145,6 +161,7 @@ func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 				// must not be able to allow itself.
 				if d.Analyzer != AllowCheck.Name &&
 					allowed[allowKey{d.Pos.Filename, d.Pos.Line, d.Analyzer}] {
+					used[allowKey{d.Pos.Filename, d.Pos.Line, d.Analyzer}] = true
 					return
 				}
 				diags = append(diags, d)
@@ -152,6 +169,7 @@ func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 		}
 		a.Run(pass)
 	}
+	diags = append(diags, auditAllows(directives, used, analyzers)...)
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -177,12 +195,20 @@ type allowKey struct {
 	analyzer string
 }
 
+// allowDirective is one //fbvet:allow comment with its parsed analyzer
+// names, kept for the unused-allow audit.
+type allowDirective struct {
+	pos   token.Position
+	names []string
+}
+
 // collectAllows indexes //fbvet:allow directives. A directive suppresses the
 // named analyzers on its own line and on the following line (so it can sit
 // above the flagged statement). Only directive-form comments count — the
 // marker must lead the comment — so prose that mentions the syntax (like this
 // package's doc) neither suppresses anything nor triggers allowcheck.
-func collectAllows(fset *token.FileSet, files []*ast.File) map[allowKey]bool {
+func collectAllows(fset *token.FileSet, files []*ast.File) ([]allowDirective, map[allowKey]bool) {
+	var directives []allowDirective
 	out := make(map[allowKey]bool)
 	for _, f := range files {
 		for _, cg := range f.Comments {
@@ -191,6 +217,8 @@ func collectAllows(fset *token.FileSet, files []*ast.File) map[allowKey]bool {
 				if !ok {
 					continue
 				}
+				// A block comment's closing marker is not an analyzer name.
+				rest = strings.TrimSuffix(strings.TrimSpace(rest), "*/")
 				// Take words up to a comment-style separator; "--" or "—"
 				// introduce the justification.
 				if cut := strings.IndexAny(rest, "—"); cut >= 0 {
@@ -200,16 +228,59 @@ func collectAllows(fset *token.FileSet, files []*ast.File) map[allowKey]bool {
 					rest = rest[:cut]
 				}
 				pos := fset.Position(c.Pos())
-				for _, name := range strings.FieldsFunc(rest, func(r rune) bool {
+				names := strings.FieldsFunc(rest, func(r rune) bool {
 					return r == ',' || r == ' ' || r == '\t'
-				}) {
+				})
+				directives = append(directives, allowDirective{pos: pos, names: names})
+				for _, name := range names {
 					out[allowKey{pos.Filename, pos.Line, name}] = true
 					out[allowKey{pos.Filename, pos.Line + 1, name}] = true
 				}
 			}
 		}
 	}
-	return out
+	return directives, out
+}
+
+// auditAllows reports directives that name analyzers that do not exist, and
+// directives that suppressed nothing even though the named analyzer ran.
+// Only active when allowcheck itself is in the running suite, and a name is
+// only called unused when its analyzer ran — `fbvet -run mapiter` must not
+// condemn a perfectly live floateq allow.
+func auditAllows(directives []allowDirective, used map[allowKey]bool, analyzers []*Analyzer) []Diagnostic {
+	running := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		running[a.Name] = true
+	}
+	if !running[AllowCheck.Name] {
+		return nil
+	}
+	known := make(map[string]bool)
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	var diags []Diagnostic
+	for _, d := range directives {
+		for _, name := range d.names {
+			switch {
+			case !known[name]:
+				diags = append(diags, Diagnostic{
+					Pos:      d.pos,
+					Analyzer: AllowCheck.Name,
+					Message:  fmt.Sprintf("//fbvet:allow names unknown analyzer %q", name),
+				})
+			case running[name] &&
+				!used[allowKey{d.pos.Filename, d.pos.Line, name}] &&
+				!used[allowKey{d.pos.Filename, d.pos.Line + 1, name}]:
+				diags = append(diags, Diagnostic{
+					Pos:      d.pos,
+					Analyzer: AllowCheck.Name,
+					Message:  fmt.Sprintf("unused //fbvet:allow %s: it suppresses no diagnostic; delete it", name),
+				})
+			}
+		}
+	}
+	return diags
 }
 
 // isFloat reports whether t's underlying type is a floating-point basic.

@@ -153,6 +153,9 @@ func TestHotAllocGolden(t *testing.T)   { runGolden(t, HotAlloc) }
 func TestRetryBoundGolden(t *testing.T) { runGolden(t, RetryBound) }
 func TestAllowCheckGolden(t *testing.T) { runGolden(t, AllowCheck) }
 func TestPkgDocGolden(t *testing.T)     { runGolden(t, PkgDoc) }
+func TestLockOrderGolden(t *testing.T)  { runGolden(t, LockOrder) }
+func TestGuardedByGolden(t *testing.T)  { runGolden(t, GuardedBy) }
+func TestGoroLeakGolden(t *testing.T)   { runGolden(t, GoroLeak) }
 
 // TestPkgDocPrefix checks the convention half of pkgdoc: a package whose
 // comment exists but does not open "Package <name>" gets exactly one

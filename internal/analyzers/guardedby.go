@@ -1,0 +1,236 @@
+package analyzers
+
+// guardedby checks declared lock-field contracts. A struct field annotated
+//
+//	foo int //fbvet:guardedby mu
+//
+// (doc comment or line comment; mu names a sync.Mutex/RWMutex field of the
+// same struct, embedded mutexes by their type name) may only be read or
+// written while that lock is held on the same object the field is reached
+// through. The interprocedural engine supplies the lock state, so a helper
+// documented "called with s.mu held" is checked against its real callers
+// rather than trusted; writes under RLock are flagged separately, as are
+// copies of annotated structs (value receivers and pointer dereferences) —
+// a lock on a copy serializes nothing.
+//
+// Accesses through freshly constructed locals (assigned only from &T{...},
+// T{...}, or new(T)) are exempt: constructor-time initialization happens
+// before the object is shared, when no lock can or need be held.
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// GuardedBy enforces //fbvet:guardedby field annotations.
+var GuardedBy = &Analyzer{
+	Name: "guardedby",
+	Doc: "flag accesses to //fbvet:guardedby-annotated struct fields made " +
+		"without holding the guarding lock (through helper calls too), " +
+		"writes under RLock, and copies of annotated structs",
+	Run: runGuardedBy,
+}
+
+// guardAnnotation is one parsed //fbvet:guardedby directive.
+type guardAnnotation struct {
+	field *types.Var // the guarded field
+	lock  *types.Var // the guarding mutex field in the same struct
+	owner string     // owning struct type name, for messages
+}
+
+// guardedbyDirective extracts the lock name from a //fbvet:guardedby
+// comment, mirroring directiveTail's strictness: the marker must lead the
+// comment, so prose mentioning the syntax does not annotate anything.
+func guardedbyDirective(comment string) (string, bool) {
+	text := strings.TrimSpace(comment)
+	switch {
+	case strings.HasPrefix(text, "//"):
+		text = text[2:]
+	case strings.HasPrefix(text, "/*"):
+		text = strings.TrimSuffix(text[2:], "*/")
+	}
+	text = strings.TrimSpace(text)
+	const marker = "fbvet:guardedby"
+	if !strings.HasPrefix(text, marker) {
+		return "", false
+	}
+	fields := strings.Fields(text[len(marker):])
+	if len(fields) == 0 {
+		return "", false
+	}
+	return fields[0], true
+}
+
+// collectGuards parses every annotation in the package, reporting malformed
+// ones (unknown or non-mutex lock fields) as findings.
+func collectGuards(pass *Pass) map[*types.Var]guardAnnotation {
+	guards := make(map[*types.Var]guardAnnotation)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok || st.Fields == nil {
+				return true
+			}
+			// Field names of this struct, for resolving the lock operand.
+			byName := make(map[string]*types.Var)
+			for _, f := range st.Fields.List {
+				for _, name := range f.Names {
+					if v, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+						byName[name.Name] = v
+					}
+				}
+				if len(f.Names) == 0 { // embedded field, named by its type
+					if id := firstIdent(f.Type); id != nil {
+						if v, ok := pass.TypesInfo.Defs[id].(*types.Var); ok {
+							byName[id.Name] = v
+						} else if sel, ok := f.Type.(*ast.SelectorExpr); ok {
+							// embedded qualified type like sync.Mutex
+							if v, ok := pass.TypesInfo.Defs[sel.Sel].(*types.Var); ok {
+								byName[sel.Sel.Name] = v
+							}
+						}
+					}
+				}
+			}
+			for _, f := range st.Fields.List {
+				var lockName string
+				var found bool
+				var dirPos ast.Node = f
+				for _, cg := range []*ast.CommentGroup{f.Doc, f.Comment} {
+					if cg == nil {
+						continue
+					}
+					for _, c := range cg.List {
+						if name, ok := guardedbyDirective(c.Text); ok {
+							lockName, found, dirPos = name, true, c
+						}
+					}
+				}
+				if !found {
+					continue
+				}
+				lock, ok := byName[lockName]
+				if !ok {
+					pass.Reportf(dirPos.Pos(), "guardedby: %s has no field %q to guard with", ts.Name.Name, lockName)
+					continue
+				}
+				if !isSyncMutex(lock.Type()) {
+					pass.Reportf(dirPos.Pos(), "guardedby: field %q of %s is not a sync.Mutex or sync.RWMutex", lockName, ts.Name.Name)
+					continue
+				}
+				for _, name := range f.Names {
+					if v, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+						guards[v] = guardAnnotation{field: v, lock: lock, owner: ts.Name.Name}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+func runGuardedBy(pass *Pass) {
+	guards := collectGuards(pass)
+	if len(guards) == 0 {
+		return
+	}
+	eng := newLockEngine(pass)
+	reported := make(map[string]bool) // loop bodies are walked twice
+
+	report := func(pos ast.Node, format string, args ...any) {
+		key := pass.Fset.Position(pos.Pos()).String() + format
+		if reported[key] {
+			return
+		}
+		reported[key] = true
+		pass.Reportf(pos.Pos(), format, args...)
+	}
+
+	for _, n := range eng.nodes {
+		for _, acc := range eng.facts[n].accesses {
+			g, ok := guards[acc.field]
+			if !ok {
+				continue
+			}
+			root := firstIdent(acc.sel.X)
+			if root == nil {
+				continue
+			}
+			obj := pass.TypesInfo.ObjectOf(root)
+			v, isVar := obj.(*types.Var)
+			if !isVar {
+				continue // reached through a call or other non-variable root
+			}
+			if eng.fresh[v] {
+				continue // constructor-time initialization of a fresh object
+			}
+			mode, held := acc.held[heldKey{base: v, field: g.lock}]
+			action := "read"
+			if acc.write {
+				action = "write to"
+			}
+			switch {
+			case !held:
+				report(acc.sel, "%s field (%s).%s without holding %s (//fbvet:guardedby)",
+					action, g.owner, acc.field.Name(), g.lock.Name())
+			case acc.write && mode == modeRead:
+				report(acc.sel, "write to field (%s).%s while holding only an RLock on %s",
+					g.owner, acc.field.Name(), g.lock.Name())
+			}
+		}
+	}
+
+	checkCopies(pass, guards)
+}
+
+// checkCopies flags operations that copy an annotated struct by value: the
+// copy carries its own mutex, so locking it serializes nothing.
+func checkCopies(pass *Pass, guards map[*types.Var]guardAnnotation) {
+	// Named struct types that carry at least one annotated field.
+	annotated := make(map[types.Type]string)
+	for _, g := range guards {
+		if obj := pass.Pkg.Scope().Lookup(g.owner); obj != nil {
+			annotated[obj.Type()] = g.owner
+		}
+	}
+	isAnnotated := func(t types.Type) (string, bool) {
+		if t == nil {
+			return "", false
+		}
+		name, ok := annotated[t]
+		return name, ok
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if fd.Recv != nil && len(fd.Recv.List) > 0 {
+				recvType := pass.TypeOf(fd.Recv.List[0].Type)
+				if name, ok := isAnnotated(recvType); ok {
+					pass.Reportf(fd.Name.Pos(), "method %s copies %s by value (it has guarded fields); use a pointer receiver", fd.Name.Name, name)
+				}
+			}
+			if fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				star, ok := n.(*ast.StarExpr)
+				if !ok {
+					return true
+				}
+				if name, ok := isAnnotated(pass.TypeOf(star)); ok {
+					pass.Reportf(star.Pos(), "dereference copies %s by value (it has guarded fields)", name)
+				}
+				return true
+			})
+		}
+	}
+}

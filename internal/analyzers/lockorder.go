@@ -1,0 +1,198 @@
+package analyzers
+
+// lockorder builds the package's lock-acquisition graph — an edge H → A
+// whenever some path acquires lock class A while already holding class H —
+// and reports every cycle as a potential deadlock, with the two (or more)
+// witnessing call paths that realize the conflicting orders. Edges come
+// both from direct acquisitions (the walker knows what is held at each
+// Lock call) and from in-package calls made while holding a lock, through
+// the callee's transitive-acquisition summary, so an order violation hidden
+// two helpers deep is still seen. Re-acquiring the very same mutex instance
+// exclusively is reported immediately: sync.Mutex is not reentrant, so that
+// path deadlocks against itself without needing a second goroutine.
+//
+// The graph is per package: lock classes acquired by other packages'
+// methods (e.g. srm holding (*SRM).mu while calling into package store,
+// which takes its own locks) are outside this analyzer's horizon — that
+// boundary, and the repo-wide lock hierarchy it implies, is documented in
+// DESIGN.md's "Concurrency model".
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// LockOrder reports cyclic lock-acquisition orders (potential deadlocks).
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc: "build the lock-acquisition graph (including acquisitions reached " +
+		"through in-package helper calls) and report cycles as potential " +
+		"deadlocks with witnessing paths, plus exclusive re-acquisition of a " +
+		"mutex already held",
+	Run: runLockOrder,
+}
+
+// lockEdge is one observed "acquired to while holding from" order.
+type lockEdge struct {
+	from, to string
+}
+
+// edgeWitness describes where and how an edge was realized.
+type edgeWitness struct {
+	pos    token.Pos
+	posStr string // file:line of the acquisition or the call reaching it
+	fn     string // function whose body witnesses the edge
+	path   []string
+}
+
+func (w edgeWitness) describe() string {
+	if len(w.path) == 0 {
+		return fmt.Sprintf("%s at %s", w.fn, w.posStr)
+	}
+	return fmt.Sprintf("%s at %s via %s", w.fn, w.posStr, strings.Join(w.path, " -> "))
+}
+
+func runLockOrder(pass *Pass) {
+	eng := newLockEngine(pass)
+
+	edges := make(map[lockEdge]edgeWitness)
+	addEdge := func(from, to string, w edgeWitness) {
+		key := lockEdge{from: from, to: to}
+		if _, ok := edges[key]; !ok {
+			edges[key] = w
+		}
+	}
+	reported := make(map[string]bool) // dedup: loop bodies are walked twice
+
+	for _, n := range eng.nodes {
+		facts := eng.facts[n]
+		for _, acq := range facts.acquires {
+			to := eng.classID(acq.key)
+			for heldKey, heldMode := range acq.held {
+				from := eng.classID(heldKey)
+				if heldKey == acq.key {
+					// Same instance: re-acquiring exclusively deadlocks on the
+					// spot unless both sides are read locks.
+					if acq.mode == modeWrite || heldMode == modeWrite {
+						msg := fmt.Sprintf("%s acquired while already held in %s (self-deadlock: sync mutexes are not reentrant)", to, n.name)
+						if !reported[msg+pass.Fset.Position(acq.pos).String()] {
+							reported[msg+pass.Fset.Position(acq.pos).String()] = true
+							pass.Reportf(acq.pos, "%s", msg)
+						}
+					}
+					continue
+				}
+				addEdge(from, to, edgeWitness{
+					pos:    acq.pos,
+					posStr: pass.Fset.Position(acq.pos).String(),
+					fn:     n.name,
+				})
+			}
+		}
+		for _, cs := range facts.callsites {
+			if cs.spawn || len(cs.held) == 0 {
+				continue
+			}
+			for lock, wit := range eng.facts[cs.callee].summary.Transitive {
+				for heldKey := range cs.held {
+					from := eng.classID(heldKey)
+					if from == lock {
+						continue
+					}
+					addEdge(from, lock, edgeWitness{
+						pos:    cs.call.Pos(),
+						posStr: pass.Fset.Position(cs.call.Pos()).String(),
+						fn:     n.name,
+						path:   append([]string{cs.callee.name}, wit.path...),
+					})
+				}
+			}
+		}
+	}
+
+	for _, cycle := range findLockCycles(edges) {
+		var witnesses []string
+		for i, from := range cycle {
+			to := cycle[(i+1)%len(cycle)]
+			w := edges[lockEdge{from: from, to: to}]
+			witnesses = append(witnesses, fmt.Sprintf("path %d: %s acquires %s while holding %s (%s)",
+				i+1, w.fn, to, from, w.describe()))
+		}
+		first := edges[lockEdge{from: cycle[0], to: cycle[1%len(cycle)]}]
+		msg := fmt.Sprintf("potential deadlock: lock cycle %s -> %s; %s",
+			strings.Join(cycle, " -> "), cycle[0], strings.Join(witnesses, "; "))
+		if reported[msg] {
+			continue
+		}
+		reported[msg] = true
+		pass.Reportf(first.pos, "%s", msg)
+	}
+}
+
+// findLockCycles returns every elementary cycle in the edge set, each
+// rotated to start at its smallest vertex and deduplicated, in sorted order
+// so diagnostics are deterministic.
+func findLockCycles(edges map[lockEdge]edgeWitness) [][]string {
+	adj := make(map[string][]string)
+	for e := range edges {
+		adj[e.from] = append(adj[e.from], e.to)
+	}
+	for _, out := range adj {
+		sort.Strings(out)
+	}
+	seen := make(map[string][]string)
+	var stack []string
+	onStack := make(map[string]int)
+	var dfs func(v string)
+	dfs = func(v string) {
+		if depth, ok := onStack[v]; ok {
+			cycle := canonicalCycle(stack[depth:])
+			seen[strings.Join(cycle, "\x00")] = cycle
+			return
+		}
+		onStack[v] = len(stack)
+		stack = append(stack, v)
+		for _, w := range adj[v] {
+			dfs(w)
+		}
+		stack = stack[:len(stack)-1]
+		delete(onStack, v)
+	}
+	roots := make([]string, 0, len(adj))
+	for v := range adj {
+		roots = append(roots, v)
+	}
+	sort.Strings(roots)
+	for _, v := range roots {
+		dfs(v)
+	}
+	keys := make([]string, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([][]string, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, seen[k])
+	}
+	return out
+}
+
+// canonicalCycle rotates a cycle to start at its lexically smallest vertex.
+func canonicalCycle(c []string) []string {
+	if len(c) == 0 {
+		return nil
+	}
+	min := 0
+	for i := range c {
+		if c[i] < c[min] {
+			min = i
+		}
+	}
+	out := make([]string, 0, len(c))
+	out = append(out, c[min:]...)
+	out = append(out, c[:min]...)
+	return out
+}

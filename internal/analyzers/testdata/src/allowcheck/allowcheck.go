@@ -28,6 +28,13 @@ func Unjustified() {
 func StandaloneDirective() {}
 
 // An unjustified allow naming allowcheck itself must still be flagged: the
-// self-check bypasses the suppression table, or it could silence itself.
-/*fbvet:allow allowcheck */ // want "lacks a justification"
+// self-check bypasses the suppression table, or it could silence itself —
+// which also means the directive can never suppress anything, so the
+// unused-allow audit flags it too.
+/*fbvet:allow allowcheck */ // want "lacks a justification" "unused"
 func SelfAllow()            {}
+
+// A justified directive naming an analyzer that does not exist is dead
+// weight (likely a typo hiding a live finding) and is flagged by the audit.
+/*fbvet:allow nosuchpass — justified in form, but the name is wrong */ // want "unknown analyzer"
+func UnknownName()                                                     {}

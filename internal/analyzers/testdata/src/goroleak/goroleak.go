@@ -1,0 +1,92 @@
+// Package goroleak is golden-test input for fbvet's goroutine-lifecycle
+// analyzer: unbounded spawns in loops and unstoppable timers/tickers must
+// be flagged; WaitGroup-bounded spawns, cancellation-aware goroutines,
+// stopped or escaping timers, and //fbvet:allow-ed sites must not.
+package goroleak
+
+import (
+	"sync"
+	"time"
+)
+
+// unbounded spawns one goroutine per item with nothing ever joining or
+// stopping them — the accept-loop bug this analyzer exists for.
+func unbounded(work []func()) {
+	for _, w := range work {
+		w := w
+		go w() // want "without a WaitGroup"
+	}
+}
+
+// bounded follows the Add/Done/Wait discipline.
+func bounded(work []func()) {
+	var wg sync.WaitGroup
+	for _, w := range work {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w()
+		}()
+	}
+	wg.Wait()
+}
+
+// cancellable goroutines block on a done channel, so a shutdown path exists
+// even without a WaitGroup.
+func cancellable(done chan struct{}, work []func()) {
+	for _, w := range work {
+		w := w
+		go func() {
+			select {
+			case <-done:
+			default:
+				w()
+			}
+		}()
+	}
+}
+
+// tick uses the unstoppable convenience constructor.
+func tick(out chan<- int) {
+	n := 0
+	for range time.Tick(time.Second) { // want "time.Tick"
+		n++
+		out <- n
+	}
+}
+
+// leakyTicker holds the ticker in a local that is neither stopped nor
+// handed to anyone who could stop it.
+func leakyTicker(d time.Duration) {
+	t := time.NewTicker(d) // want "never stopped"
+	_ = t
+}
+
+// stoppedTicker is the canonical deferred-Stop shape.
+func stoppedTicker(d time.Duration, out chan<- struct{}) {
+	t := time.NewTicker(d)
+	defer t.Stop()
+	<-t.C
+	out <- struct{}{}
+}
+
+// discarded drops the *Timer on the floor; nothing can ever stop it.
+func discarded(d time.Duration, f func()) {
+	time.AfterFunc(d, f) // want "discarded"
+}
+
+// handedOff transfers ownership: the caller receives the timer and with it
+// the duty to stop it.
+func handedOff(d time.Duration) *time.Timer {
+	return time.NewTimer(d)
+}
+
+// suppressed demonstrates the allow contract.
+func suppressed(work []func()) {
+	for _, w := range work {
+		w := w
+		//fbvet:allow goroleak — suppressed-case fixture: spawn-per-item is the point
+		go w()
+	}
+}

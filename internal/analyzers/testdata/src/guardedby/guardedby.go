@@ -1,0 +1,98 @@
+// Package guardedby is golden-test input for fbvet's guarded-field
+// analyzer: //fbvet:guardedby annotations must be enforced across helper
+// calls, RLock must not cover writes, copies of annotated structs must be
+// flagged, constructors are exempt, and //fbvet:allow must suppress.
+package guardedby
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int //fbvet:guardedby mu
+}
+
+// newCounter initializes a fresh object: no lock exists to hold yet, and
+// none is needed — the fresh-local exemption covers it.
+func newCounter() *counter {
+	c := &counter{}
+	c.n = 1
+	return c
+}
+
+func (c *counter) inc() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+func (c *counter) bad() int {
+	return c.n // want "without holding mu"
+}
+
+// incLocked's contract — called with c.mu held — is proven from its
+// callers by the interprocedural engine, not trusted from a comment.
+func (c *counter) incLocked() {
+	c.n += 2
+}
+
+func (c *counter) incViaHelper() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.incLocked()
+}
+
+func (c *counter) suppressed() int {
+	//fbvet:allow guardedby — suppressed-case fixture: lock-free read is the point
+	return c.n
+}
+
+// copyReceiver copies the mutex along with the fields it guards.
+func (c counter) copyReceiver() {} // want "copies"
+
+// snapshot copies the struct out from under its own lock.
+func snapshot(c *counter) counter {
+	return *c // want "dereference copies"
+}
+
+type gauge struct {
+	rw sync.RWMutex
+	v  int //fbvet:guardedby rw
+}
+
+func (g *gauge) get() int {
+	g.rw.RLock()
+	defer g.rw.RUnlock()
+	return g.v
+}
+
+func (g *gauge) badSet(v int) {
+	g.rw.RLock()
+	defer g.rw.RUnlock()
+	g.v = v // want "RLock"
+}
+
+func (g *gauge) set(v int) {
+	g.rw.Lock()
+	defer g.rw.Unlock()
+	g.v = v
+}
+
+// ring demonstrates the doc-comment annotation form.
+type ring struct {
+	mu sync.Mutex
+	//fbvet:guardedby mu
+	buf []int
+}
+
+func (r *ring) push(v int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.buf = append(r.buf, v)
+}
+
+// broken demonstrates annotation validation: the named lock must exist.
+type broken struct {
+	n int /*fbvet:guardedby missing*/ // want "no field"
+}
+
+func (b *broken) get() int { return b.n }

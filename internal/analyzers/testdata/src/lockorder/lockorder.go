@@ -1,0 +1,60 @@
+// Package lockorder is golden-test input for fbvet's lock-ordering
+// analyzer: conflicting acquisition orders — including one realized through
+// a helper call — must surface as a potential-deadlock cycle, re-acquiring
+// a held mutex must surface immediately, and //fbvet:allow must suppress.
+package lockorder
+
+import "sync"
+
+// A and B form a deliberate lock-order conflict: ab takes (A).mu then
+// (B).mu directly, while ba reaches (A).mu through lockA while holding
+// (B).mu — the engine must see through the helper to witness the cycle.
+type A struct{ mu sync.Mutex }
+type B struct{ mu sync.Mutex }
+
+func ab(a *A, b *B) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock() // want "potential deadlock" "via lockA"
+	defer b.mu.Unlock()
+}
+
+func ba(a *A, b *B) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	lockA(a)
+}
+
+func lockA(a *A) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+}
+
+// Re-acquiring the same mutex exclusively deadlocks without needing a
+// second goroutine: sync.Mutex is not reentrant.
+func reacquire(a *A) {
+	a.mu.Lock()
+	a.mu.Lock() // want "self-deadlock"
+	a.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// C and D conflict the same way A and B do, but the cycle's reported edge
+// carries a justified allow, so nothing may surface for it.
+type C struct{ mu sync.Mutex }
+type D struct{ mu sync.Mutex }
+
+func cd(c *C, d *D) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	//fbvet:allow lockorder — suppressed-case fixture: the conflicting order is the point
+	d.mu.Lock()
+	defer d.mu.Unlock()
+}
+
+func dc(c *C, d *D) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+}

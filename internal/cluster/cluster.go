@@ -12,6 +12,7 @@ package cluster
 
 import (
 	"fmt"
+	"sync"
 
 	"fbcache/internal/bundle"
 	"fbcache/internal/metrics"
@@ -23,13 +24,18 @@ import (
 type AssignFunc func(bundle.FileID) int
 
 // Sharded is a cluster-distributed cache: one policy instance per node.
+// Admit is serialized by mu; the node policies themselves are the
+// single-goroutine policies of internal/policy, so concurrent admissions
+// must not interleave inside them either.
 type Sharded struct {
+	// Immutable after New.
 	nodes  []policy.Policy
 	assign AssignFunc
 	sizeOf bundle.SizeFunc
 
+	mu sync.Mutex
 	// scratch reused across admissions to avoid per-call allocation.
-	shards [][]bundle.FileID
+	shards [][]bundle.FileID //fbvet:guardedby mu
 }
 
 // New builds a sharded cache with `nodes` node-local policies created by
@@ -72,6 +78,8 @@ func (s *Sharded) Name() string {
 // Admit splits the bundle across nodes, admits each shard on its node, and
 // merges the results: the job hits only if every shard hit.
 func (s *Sharded) Admit(b bundle.Bundle) policy.Result {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	for i := range s.shards {
 		s.shards[i] = s.shards[i][:0]
 	}

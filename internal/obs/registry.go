@@ -168,7 +168,7 @@ type metric struct {
 // lock-free. The registry never reads the wall clock.
 type Registry struct {
 	mu      sync.RWMutex
-	metrics map[string]*metric
+	metrics map[string]*metric //fbvet:guardedby mu
 }
 
 // NewRegistry returns an empty registry.

@@ -19,8 +19,8 @@ type jsonlRecord struct {
 // never have to check.
 type JSONLSink struct {
 	mu  sync.Mutex
-	enc *json.Encoder
-	err error
+	enc *json.Encoder //fbvet:guardedby mu
+	err error         //fbvet:guardedby mu
 }
 
 // NewJSONLSink wraps w. The caller owns w's lifecycle (flush/close).
@@ -76,11 +76,11 @@ func (s *JSONLSink) JobServed(e JobServedEvent) { s.emit("job_served", e) }
 // a wrap can happen before or after a snapshot, never "inside" one.
 type RingSink struct {
 	mu      sync.Mutex
-	buf     []any
-	next    int
-	wrap    bool
-	total   int64
-	dropped int64
+	buf     []any //fbvet:guardedby mu
+	next    int   //fbvet:guardedby mu
+	wrap    bool  //fbvet:guardedby mu
+	total   int64 //fbvet:guardedby mu
+	dropped int64 //fbvet:guardedby mu
 }
 
 // NewRingSink returns a ring holding up to capacity events (min 1).
@@ -209,7 +209,7 @@ type TraceStats struct {
 // assert "N evictions happened" in a test. Safe for concurrent use.
 type StatsSink struct {
 	mu sync.Mutex
-	st TraceStats
+	st TraceStats //fbvet:guardedby mu
 }
 
 // NewStatsSink returns an empty aggregating sink.

@@ -55,9 +55,9 @@ type Server struct {
 	ln  net.Listener
 
 	mu     sync.Mutex
-	closed bool
-	conns  map[net.Conn]bool
-	wg     sync.WaitGroup // one count per live connection handler
+	closed bool              //fbvet:guardedby mu
+	conns  map[net.Conn]bool //fbvet:guardedby mu
+	wg     sync.WaitGroup    // one count per live connection handler; internally synchronized
 }
 
 // Serve starts a server on addr (e.g. "127.0.0.1:0") and returns once the
@@ -233,10 +233,10 @@ func (srv *Server) retryAfterHintMs() int64 {
 
 // Client is a minimal protocol client.
 type Client struct {
-	conn net.Conn
-	dec  *json.Decoder
-	enc  *json.Encoder
+	conn net.Conn // Close may use conn concurrently with a round-trip
 	mu   sync.Mutex
+	dec  *json.Decoder //fbvet:guardedby mu
+	enc  *json.Encoder //fbvet:guardedby mu
 }
 
 // Dial connects to an SRM server.

@@ -39,16 +39,16 @@ type SRM struct {
 	sizeOf bundle.SizeFunc
 
 	mu   sync.Mutex
-	cond *sync.Cond
-	pol  policy.Policy
+	cond *sync.Cond    //fbvet:guardedby mu
+	pol  policy.Policy //fbvet:guardedby mu
 
-	pinnedBytes bundle.Size
-	active      int
-	waiting     int
-	closed      bool
-	col         metrics.Collector
-	res         metrics.Resilience
-	store       *store.Store // optional; see WithStore
+	pinnedBytes bundle.Size        //fbvet:guardedby mu
+	active      int                //fbvet:guardedby mu
+	waiting     int                //fbvet:guardedby mu
+	closed      bool               //fbvet:guardedby mu
+	col         metrics.Collector  //fbvet:guardedby mu
+	res         metrics.Resilience //fbvet:guardedby mu
+	store       *store.Store       //fbvet:guardedby mu — optional; see WithStore
 
 	// reqBytes records the requested size of every Stage call (including
 	// unserviceable ones). The histogram is atomic internally, so it is
@@ -57,9 +57,9 @@ type SRM struct {
 
 	// stageTimeout bounds how long one Stage may block waiting for pinned
 	// capacity; 0 means wait forever. See WithStageTimeout.
-	stageTimeout time.Duration
+	stageTimeout time.Duration //fbvet:guardedby mu
 	// storeAttempts bounds tries per store operation (>= 1).
-	storeAttempts int
+	storeAttempts int //fbvet:guardedby mu
 }
 
 // New builds an SRM over the given policy and catalog. The catalog provides

@@ -41,15 +41,15 @@ type Store struct {
 	source Source
 
 	mu    sync.Mutex
-	files map[bundle.FileID]*entry
+	files map[bundle.FileID]*entry //fbvet:guardedby mu
 }
 
 type entry struct {
-	mu       sync.Mutex // serializes stage/remove of one file
-	path     string
-	size     bundle.Size
-	checksum uint32
-	present  bool
+	mu       sync.Mutex  // serializes stage/remove of one file
+	path     string      //fbvet:guardedby mu
+	size     bundle.Size //fbvet:guardedby mu
+	checksum uint32      //fbvet:guardedby mu
+	present  bool        //fbvet:guardedby mu
 }
 
 // New creates (or reuses) a store rooted at dir, fetching misses from
