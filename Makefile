@@ -7,7 +7,7 @@ GO ?= go
 #   make fuzz FUZZTIME=5m
 FUZZTIME ?= 30s
 
-.PHONY: all build test test-invariant lint vet fbvet sarif doc-lint race bench bench-guard bench-json bench-require trace-check fuzz soak clean
+.PHONY: all build test test-invariant lint vet fbvet sarif doc-lint perfgate perfgate-sarif race bench bench-guard bench-json bench-require trace-check fuzz soak clean
 
 all: build lint test
 
@@ -48,6 +48,21 @@ sarif:
 # the paper section it implements and its pipeline role.
 doc-lint:
 	$(GO) run ./cmd/fbvet -run pkgdoc ./...
+
+# perfgate runs the fbvet performance-contract suite (internal/analyzers/perf,
+# DESIGN.md §11): a real `go build -gcflags='-m -m -d=ssa/check_bce/debug=1'`
+# sweep whose escape-analysis, inlining, and bounds-check diagnostics are
+# checked against the //fbvet:noescape, //fbvet:inline, and //fbvet:nobce
+# annotations the perf manifest pins on the hot paths. The build cache replays
+# diagnostics for unchanged packages, so repeat runs are cheap.
+perfgate:
+	$(GO) run ./cmd/fbvet -perf ./...
+
+# perfgate-sarif emits the perf-contract findings as SARIF (fbvet-perf.sarif)
+# and validates the log — the artifact CI uploads next to the base-suite one.
+perfgate-sarif:
+	$(GO) run ./cmd/fbvet -perf -format=sarif ./... > fbvet-perf.sarif
+	$(GO) run ./cmd/fbvet -validate fbvet-perf.sarif
 
 # race runs the full suite under the race detector, including the dedicated
 # concurrency tests in internal/srm and internal/store.

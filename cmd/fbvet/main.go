@@ -17,6 +17,19 @@
 // the exit-code contract is unchanged, and the human summary still goes
 // to stderr. -validate structurally checks an existing SARIF file and
 // exits 0 (valid) or 2.
+//
+// -perf switches to the performance-contract suite (internal/analyzers/perf):
+//
+//	go run ./cmd/fbvet -perf ./...
+//	go run ./cmd/fbvet -perf -format=sarif ./... > fbvet-perf.sarif
+//
+// It compiles the target packages with -gcflags='-m -m -d=ssa/check_bce/debug=1'
+// and enforces the //fbvet:noescape, //fbvet:inline, and //fbvet:nobce
+// function annotations against the compiler's own escape/inline/BCE
+// diagnostics, plus the hotcomplexity sort-in-hot-loop check. It is a
+// separate mode because it executes real builds; the default suite stays a
+// pure go/types pass. Exit codes, -run, -list, and -format behave the same
+// in both modes.
 package main
 
 import (
@@ -25,6 +38,7 @@ import (
 	"os"
 
 	"fbcache/internal/analyzers"
+	"fbcache/internal/analyzers/perf"
 )
 
 func main() {
@@ -33,10 +47,17 @@ func main() {
 		describe = flag.Bool("list", false, "list available analyzers and exit")
 		format   = flag.String("format", "text", "output format: text or sarif")
 		validate = flag.String("validate", "", "validate a SARIF file and exit (no analysis)")
+		perfMode = flag.Bool("perf", false, "run the performance-contract suite (compiles with -gcflags diagnostics)")
 	)
 	flag.Parse()
 
 	if *describe {
+		if *perfMode {
+			for _, a := range perf.All() {
+				fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+			}
+			return
+		}
 		for _, a := range analyzers.All() {
 			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
 		}
@@ -62,16 +83,6 @@ func main() {
 		os.Exit(2)
 	}
 
-	suite := analyzers.All()
-	if *runList != "" {
-		var err error
-		suite, err = analyzers.ByName(*runList)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "fbvet: %v\n", err)
-			os.Exit(2)
-		}
-	}
-
 	patterns := flag.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
@@ -84,8 +95,38 @@ func main() {
 	}
 
 	var diags []analyzers.Diagnostic
-	for _, pkg := range pkgs {
-		diags = append(diags, analyzers.Run(pkg, suite)...)
+	var rules []ruleMeta
+	if *perfMode {
+		suite := perf.All()
+		if *runList != "" {
+			suite, err = perf.ByName(*runList)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "fbvet: %v\n", err)
+				os.Exit(2)
+			}
+		}
+		rules = perfRules(suite)
+		sw, err := perf.SweepPackages(".", patterns)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fbvet: %v\n", err)
+			os.Exit(2)
+		}
+		for _, pkg := range pkgs {
+			diags = append(diags, perf.Run(pkg, sw, suite)...)
+		}
+	} else {
+		suite := analyzers.All()
+		if *runList != "" {
+			suite, err = analyzers.ByName(*runList)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "fbvet: %v\n", err)
+				os.Exit(2)
+			}
+		}
+		rules = baseRules(suite)
+		for _, pkg := range pkgs {
+			diags = append(diags, analyzers.Run(pkg, suite)...)
+		}
 	}
 
 	switch *format {
@@ -96,7 +137,7 @@ func main() {
 		if err != nil {
 			root = "."
 		}
-		if err := writeSARIF(os.Stdout, suite, diags, root); err != nil {
+		if err := writeSARIF(os.Stdout, rules, diags, root); err != nil {
 			fmt.Fprintf(os.Stderr, "fbvet: writing SARIF: %v\n", err)
 			os.Exit(2)
 		}

@@ -1,6 +1,7 @@
 package analyzers
 
 import (
+	"go/ast"
 	"strings"
 )
 
@@ -9,30 +10,97 @@ import (
 // explaining why the finding is acceptable. Unjustified suppressions defeat
 // the audit trail the suite exists to provide.
 //
+// It also audits the perf-contract function directives (//fbvet:noescape,
+// //fbvet:inline, //fbvet:nobce): the perf suite only honours them in a
+// function declaration's doc comment, so one left anywhere else — stranded
+// by a refactor, or trailing a statement — is a contract that silently
+// stopped being enforced, and any other //fbvet:<name> spelling is a typo
+// hiding a dead directive.
+//
 // AllowCheck diagnostics cannot themselves be suppressed (Run bypasses the
 // allow table for them); the only fix is writing the justification.
 var AllowCheck = &Analyzer{
 	Name: "allowcheck",
 	Doc: "flag //fbvet:allow directives that lack a justification " +
-		"(\"— why this is safe\" after the analyzer names)",
+		"(\"— why this is safe\" after the analyzer names), perf directives " +
+		"(//fbvet:noescape|inline|nobce) that are not function doc comments " +
+		"and so bind to nothing, and unknown //fbvet:<name> spellings",
 	Run: runAllowCheck,
 }
 
 func runAllowCheck(pass *Pass) {
 	for _, f := range pass.Files {
+		docs := funcDocGroups(f)
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				rest, ok := directiveTail(c.Text)
+				if rest, ok := directiveTail(c.Text); ok {
+					if allowJustification(rest) == "" {
+						pass.Reportf(c.Pos(), "fbvet:allow directive lacks a justification; "+
+							"append \"— <why this finding is safe here>\"")
+					}
+					continue
+				}
+				name, ok := fbvetDirectiveName(c.Text)
 				if !ok {
 					continue
 				}
-				if allowJustification(rest) == "" {
-					pass.Reportf(c.Pos(), "fbvet:allow directive lacks a justification; "+
-						"append \"— <why this finding is safe here>\"")
+				if !isFuncDirective(name) {
+					pass.Reportf(c.Pos(), "unknown fbvet directive //fbvet:%s (known: allow, guardedby, %s)",
+						name, strings.Join(FuncDirectiveNames, ", "))
+					continue
+				}
+				if !docs[cg] {
+					pass.Reportf(c.Pos(), "perf directive //fbvet:%s is not a function doc comment — "+
+						"the perf suite only enforces it on a function declaration; move it onto the "+
+						"function or delete the stale annotation", name)
 				}
 			}
 		}
 	}
+}
+
+// funcDocGroups returns the comment groups that are doc comments of function
+// declarations — the only place the perf suite reads //fbvet:<directive>
+// annotations from.
+func funcDocGroups(f *ast.File) map[*ast.CommentGroup]bool {
+	docs := make(map[*ast.CommentGroup]bool)
+	for _, decl := range f.Decls {
+		if fd, ok := decl.(*ast.FuncDecl); ok && fd.Doc != nil {
+			docs[fd.Doc] = true
+		}
+	}
+	return docs
+}
+
+// fbvetDirectiveName extracts <name> from a comment that IS an "//fbvet:<name>"
+// directive other than allow (directiveTail handles it) and guardedby (a
+// field-level directive the guardedby analyzer owns). Prose merely mentioning
+// the syntax mid-sentence does not count: the marker must lead the comment.
+func fbvetDirectiveName(comment string) (string, bool) {
+	body := strings.TrimPrefix(strings.TrimPrefix(comment, "//"), "/*")
+	body = strings.TrimLeft(body, " \t")
+	rest, ok := strings.CutPrefix(body, "fbvet:")
+	if !ok {
+		return "", false
+	}
+	name := rest
+	if i := strings.IndexAny(name, " \t"); i >= 0 {
+		name = name[:i]
+	}
+	name = strings.TrimSuffix(name, "*/")
+	if name == "" || name == "allow" || name == "guardedby" {
+		return "", false
+	}
+	return name, true
+}
+
+func isFuncDirective(name string) bool {
+	for _, d := range FuncDirectiveNames {
+		if d == name {
+			return true
+		}
+	}
+	return false
 }
 
 // directiveTail returns the text after "fbvet:allow" when the comment IS a

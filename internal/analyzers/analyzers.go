@@ -116,6 +116,51 @@ func All() []*Analyzer {
 	return []*Analyzer{MapIter, FloatEq, LockCheck, SizeUnits, NDTaint, ErrFlow, HotAlloc, RetryBound, PkgDoc, LockOrder, GuardedBy, GoroLeak, AllowCheck}
 }
 
+// PerfNames lists the analyzers of the perf-contract suite
+// (internal/analyzers/perf): they run under `fbvet -perf` — a separate mode,
+// because they execute real compiler builds — but share the //fbvet:allow
+// directive namespace with this suite, so the allow audit must know their
+// names and allowcheck must know the function annotations they enforce
+// (//fbvet:noescape, //fbvet:inline, //fbvet:nobce).
+var PerfNames = []string{"noescape", "inline", "nobce", "hotcomplexity"}
+
+// FuncDirectiveNames lists the fbvet directives that annotate function
+// declarations with performance contracts checked by the perf suite. The
+// directive text matches the analyzer that enforces it.
+var FuncDirectiveNames = []string{"noescape", "inline", "nobce"}
+
+// Allows returns a predicate reporting whether an //fbvet:allow directive in
+// files suppresses analyzer name at pos (same line or the line above the
+// directive). The perf suite (internal/analyzers/perf) runs outside Run but
+// honours the same suppression mechanism.
+func Allows(fset *token.FileSet, files []*ast.File) func(pos token.Position, name string) bool {
+	_, allowed := collectAllows(fset, files)
+	return func(pos token.Position, name string) bool {
+		return allowed[allowKey{pos.Filename, pos.Line, name}]
+	}
+}
+
+// SortDiagnostics orders diags by file, line, column, analyzer, message —
+// the canonical order both the go/types suite and the perf suite report in.
+func SortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}
+
 // ByName resolves a comma-separated analyzer list ("mapiter,floateq").
 func ByName(names string) ([]*Analyzer, error) {
 	var out []*Analyzer
@@ -170,22 +215,7 @@ func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 		a.Run(pass)
 	}
 	diags = append(diags, auditAllows(directives, used, analyzers)...)
-	sort.Slice(diags, func(i, j int) bool {
-		a, b := diags[i], diags[j]
-		if a.Pos.Filename != b.Pos.Filename {
-			return a.Pos.Filename < b.Pos.Filename
-		}
-		if a.Pos.Line != b.Pos.Line {
-			return a.Pos.Line < b.Pos.Line
-		}
-		if a.Pos.Column != b.Pos.Column {
-			return a.Pos.Column < b.Pos.Column
-		}
-		if a.Analyzer != b.Analyzer {
-			return a.Analyzer < b.Analyzer
-		}
-		return a.Message < b.Message
-	})
+	SortDiagnostics(diags)
 	return diags
 }
 
@@ -258,6 +288,12 @@ func auditAllows(directives []allowDirective, used map[allowKey]bool, analyzers 
 	known := make(map[string]bool)
 	for _, a := range All() {
 		known[a.Name] = true
+	}
+	// The perf suite runs in its own fbvet mode but shares the directive
+	// namespace: an allow naming one of its analyzers is legitimate here and
+	// audited for staleness by the perf run instead.
+	for _, name := range PerfNames {
+		known[name] = true
 	}
 	var diags []Diagnostic
 	for _, d := range directives {

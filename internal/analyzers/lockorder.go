@@ -140,7 +140,7 @@ func findLockCycles(edges map[lockEdge]edgeWitness) [][]string {
 		adj[e.from] = append(adj[e.from], e.to)
 	}
 	for _, out := range adj {
-		sort.Strings(out)
+		sort.Strings(out) //fbvet:allow hotcomplexity — canonicalizes diagnostic output; runs per vet invocation, not per admission
 	}
 	seen := make(map[string][]string)
 	var stack []string

@@ -1,0 +1,155 @@
+package perf
+
+import "strings"
+
+// The three contract analyzers share one skeleton: for every function
+// carrying the analyzer's directive, match the sweep diagnostics against the
+// function's source range and report violations; then audit the package's
+// manifest entries so a deleted annotation (or a renamed-away function) is a
+// positioned finding rather than a silent hole.
+
+// NoEscape enforces //fbvet:noescape: no value inside the function may move
+// or leak to the heap.
+var NoEscape = &Analyzer{
+	Name: "noescape",
+	Doc: "enforce //fbvet:noescape: the compiler's escape analysis must prove every " +
+		"value in the function heap-free — no 'moved to heap', 'escapes to heap', or " +
+		"heap-bound 'leaking param' diagnostic in the body. Leaks that flow only to " +
+		"results or through already-heap pointees are benign and accepted.",
+	Run: runNoEscape,
+}
+
+func runNoEscape(pass *Pass) {
+	for _, f := range pass.Funcs {
+		if !f.Has("noescape") {
+			continue
+		}
+		// -m -m emits each escape twice — once with the flow detail (message
+		// ends ":") and once as a bare summary; dedupe on the normalized
+		// message per position.
+		type key struct {
+			line, col int
+			msg       string
+		}
+		seen := make(map[key]bool)
+		for _, d := range pass.Sweep.InRange(f.File, f.StartLine, f.EndLine) {
+			if d.Kind != KindEscape && d.Kind != KindLeakParam {
+				continue
+			}
+			k := key{d.Line, d.Col, strings.TrimSuffix(d.Msg, ":")}
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			switch d.Kind {
+			case KindEscape:
+				pass.Reportf(pass.position(d), "%s is //fbvet:noescape but the compiler reports %q", f.Name, k.msg)
+			case KindLeakParam:
+				pass.Reportf(pass.position(d), "%s is //fbvet:noescape but parameter leaks to heap: %q", f.Name, k.msg)
+			}
+		}
+	}
+	auditManifest(pass, "noescape")
+}
+
+// Inline enforces //fbvet:inline: the function must carry a positive
+// inlinability verdict so every direct call site gets it inlined.
+var Inline = &Analyzer{
+	Name: "inline",
+	Doc: "enforce //fbvet:inline: the function must be inlinable ('can inline' verdict); " +
+		"a 'cannot inline' verdict is reported with the compiler's reason (cost over " +
+		"budget, defer, recursion, ...). A missing verdict of either polarity is also " +
+		"reported — it means the sweep did not see the function at all.",
+	Run: runInline,
+}
+
+func runInline(pass *Pass) {
+	for _, f := range pass.Funcs {
+		if !f.Has("inline") {
+			continue
+		}
+		verdict := false
+		for _, d := range pass.Sweep.InRange(f.File, f.StartLine, f.EndLine) {
+			if d.Name != f.Name {
+				continue
+			}
+			switch d.Kind {
+			case KindCanInline:
+				verdict = true
+			case KindCannotInline:
+				verdict = true
+				pass.Reportf(pass.position(d), "%s is //fbvet:inline but the compiler cannot inline it: %s", f.Name, d.Detail)
+			}
+		}
+		if !verdict {
+			pass.ReportAt(f.Decl.Name.Pos(), "%s is //fbvet:inline but the sweep has no inlining verdict for it — diagnostic name mismatch or output shape change", f.Name)
+		}
+	}
+	auditManifest(pass, "inline")
+}
+
+// NoBCE enforces //fbvet:nobce: the function must compile with zero bounds
+// checks.
+var NoBCE = &Analyzer{
+	Name: "nobce",
+	Doc: "enforce //fbvet:nobce: the SSA bounds-check-elimination pass must prove every " +
+		"index and slice expression in the function ('Found IsInBounds'/'Found " +
+		"IsSliceInBounds' must not appear). Hoist the bound or restructure the loop " +
+		"until BCE succeeds.",
+	Run: runNoBCE,
+}
+
+func runNoBCE(pass *Pass) {
+	for _, f := range pass.Funcs {
+		if !f.Has("nobce") {
+			continue
+		}
+		type pos struct{ line, col int }
+		// The SSA pass emits one line per residual check and duplicates
+		// positions across funcs split by inlining; dedupe per position.
+		seen := make(map[pos]bool)
+		for _, d := range pass.Sweep.InRange(f.File, f.StartLine, f.EndLine) {
+			if d.Kind != KindBoundsCheck && d.Kind != KindSliceBoundsCheck {
+				continue
+			}
+			p := pos{d.Line, d.Col}
+			if seen[p] {
+				continue
+			}
+			seen[p] = true
+			pass.Reportf(pass.position(d), "%s is //fbvet:nobce but a bounds check survives BCE here (%s)", f.Name, d.Msg)
+		}
+	}
+	auditManifest(pass, "nobce")
+}
+
+// auditManifest reports, for one directive, every manifest contract of the
+// package that is no longer satisfied structurally: the function lost the
+// annotation, or no longer exists under the pinned name.
+func auditManifest(pass *Pass, directive string) {
+	for _, c := range Contracts(pass.Pkg.ImportPath) {
+		required := false
+		for _, d := range c.Directives {
+			if d == directive {
+				required = true
+				break
+			}
+		}
+		if !required {
+			continue
+		}
+		found := false
+		for _, f := range pass.Funcs {
+			if f.Name != c.Func {
+				continue
+			}
+			found = true
+			if !f.Has(directive) {
+				pass.ReportAt(f.Decl.Name.Pos(), "%s must carry //fbvet:%s (perf manifest pins this hot-path contract; see internal/analyzers/perf/manifest.go)", c.Func, directive)
+			}
+		}
+		if !found && len(pass.Pkg.Files) > 0 {
+			pass.ReportAt(pass.Pkg.Files[0].Package, "perf manifest pins //fbvet:%s on %s, but no such function exists in %s — update manifest.go or restore the function", directive, c.Func, pass.Pkg.ImportPath)
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package perf
+
+// Contract pins one hot-path function to the perf directives it must carry.
+// The manifest exists so that DELETING an annotation is itself a finding: a
+// refactor that drops //fbvet:noescape from OptCacheSelect's scan loop does
+// not silently shrink the gate — the missing annotation is reported at the
+// function's declaration.
+type Contract struct {
+	// Func is the function in compiler-diagnostic rendering (F, T.F, (*T).F).
+	Func string
+	// Directives lists the required annotations (subset of
+	// analyzers.FuncDirectiveNames).
+	Directives []string
+}
+
+// manifest maps import paths to their required contracts. Keep in sync with
+// DESIGN.md §11, which documents why each function carries its contracts.
+// Tests mutate this map (with cleanup) to exercise enforcement.
+var manifest = map[string][]Contract{
+	// The OptCacheSelect admission round (paper §3 step 2/3): the resort
+	// scan is the per-admission inner loop ROADMAP item 2 targets at
+	// 0 allocs/op steady state.
+	"fbcache/internal/core": {
+		{Func: "(*resortState).argmax", Directives: []string{"noescape", "nobce"}},
+		{Func: "(*resortState).chargeCovered", Directives: []string{"noescape", "nobce"}},
+		{Func: "chargedSize", Directives: []string{"noescape", "inline", "nobce"}},
+		{Func: "(*OptFileBundle).RelativeValue", Directives: []string{"noescape", "nobce"}},
+	},
+	// Cache accessors sit inside every admission and eviction decision;
+	// they must stay cheap enough to inline and must not force their
+	// receiver or arguments onto the heap.
+	"fbcache/internal/cache": {
+		{Func: "(*Cache).Capacity", Directives: []string{"noescape", "inline"}},
+		{Func: "(*Cache).Used", Directives: []string{"noescape", "inline"}},
+		{Func: "(*Cache).Free", Directives: []string{"noescape", "inline"}},
+		{Func: "(*Cache).Len", Directives: []string{"noescape", "inline"}},
+		{Func: "(*Cache).Contains", Directives: []string{"noescape", "inline"}},
+		{Func: "(*Cache).SizeOf", Directives: []string{"noescape", "inline"}},
+		{Func: "(*Cache).Supports", Directives: []string{"noescape", "inline", "nobce"}},
+		{Func: "(*Cache).Pinned", Directives: []string{"noescape", "inline"}},
+	},
+	// Landlord's credit read is on the ranking path of every admission.
+	"fbcache/internal/policy/landlord": {
+		{Func: "(*Landlord).Credit", Directives: []string{"noescape", "inline"}},
+	},
+	// The event loop's queue operations run once per simulated event; the
+	// typed heap exists so they stay boxing-free and bounds-check-free.
+	"fbcache/internal/simulate": {
+		{Func: "(*eventQueue).push", Directives: []string{"noescape", "nobce"}},
+		{Func: "(*eventQueue).pop", Directives: []string{"noescape", "nobce"}},
+	},
+}
+
+// Contracts returns the required contracts of one import path (nil if the
+// package carries none).
+func Contracts(importPath string) []Contract {
+	return manifest[importPath]
+}

@@ -1,0 +1,150 @@
+// Package perf implements fbvet's performance-contract suite: analyzers
+// driven by the Go compiler's own diagnostics rather than go/types facts.
+// A sweep (see sweep.go) compiles the target packages with
+//
+//	go build -gcflags='-m -m -d=ssa/check_bce/debug=1'
+//
+// and parses the escape-analysis, inlining, and bounds-check-elimination
+// output into positioned findings (diag.go). Three contract analyzers then
+// enforce function annotations on the hot paths:
+//
+//   - noescape: a function marked //fbvet:noescape must not move or leak any
+//     value to the heap — no "moved to heap", "escapes to heap", or
+//     heap-bound "leaking param" diagnostic inside its body. Benign leaks
+//     (param flowing only to a result, or content leaks through an
+//     already-heap pointee) are not violations.
+//   - inline: a function marked //fbvet:inline must carry a "can inline"
+//     verdict — every direct call site then gets it inlined. A "cannot
+//     inline" verdict surfaces with the compiler's reason (cost, closures,
+//     defer, ...).
+//   - nobce: a function marked //fbvet:nobce must compile with zero bounds
+//     checks ("Found IsInBounds"/"Found IsSliceInBounds") in its body — the
+//     indexing must be hoisted or guarded so BCE proves every access.
+//
+// A fourth analyzer, hotcomplexity, needs no compiler output: it flags
+// sort/rebuild calls inside loops and inside contract-annotated functions —
+// the O(n log n)-per-admission re-sorts ROADMAP item 2 targets.
+//
+// The perf manifest (manifest.go) pins which hot-path functions MUST carry
+// which contracts, so deleting an annotation is itself a finding rather
+// than a silent hole in the gate. //fbvet:allow <analyzer> suppression works
+// exactly as in the base suite. cmd/fbvet runs this suite under -perf; it is
+// a separate mode because it executes real builds, which the pure go/types
+// driver never does.
+package perf
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"strings"
+
+	"fbcache/internal/analyzers"
+)
+
+// Analyzer is one perf-contract check. It mirrors analyzers.Analyzer but
+// runs with compiler-diagnostic input alongside the type-checked package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics, //fbvet:allow directives,
+	// and (for the contract analyzers) the function annotation it enforces.
+	Name string
+	// Doc is a one-paragraph description.
+	Doc string
+	// Run inspects one package and reports findings through the pass.
+	Run func(*Pass)
+}
+
+// Pass carries one type-checked package, the compiler-diagnostic sweep, and
+// the package's annotated functions through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *analyzers.Package
+	Sweep    *Sweep
+	// Funcs lists every function declaration of the package with its parsed
+	// perf directives (possibly none) and source range.
+	Funcs []*AnnotFunc
+
+	report func(analyzers.Diagnostic)
+}
+
+// Reportf records a finding at an explicit position (compiler diagnostics
+// carry token.Position, not token.Pos).
+func (p *Pass) Reportf(pos token.Position, format string, args ...any) {
+	p.report(analyzers.Diagnostic{
+		Pos:      pos,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ReportAt records a finding at an AST position.
+func (p *Pass) ReportAt(pos token.Pos, format string, args ...any) {
+	p.Reportf(p.Pkg.Fset.Position(pos), format, args...)
+}
+
+// All returns the perf suite: the three compiler-diagnostic contract
+// analyzers plus the AST-level complexity check. The order and names must
+// stay in sync with analyzers.PerfNames (the base suite's allow audit
+// depends on it; TestSuiteMatchesPerfNames pins the correspondence).
+func All() []*Analyzer {
+	return []*Analyzer{NoEscape, Inline, NoBCE, HotComplexity}
+}
+
+// ByName resolves a comma-separated analyzer list ("noescape,nobce").
+func ByName(names string) ([]*Analyzer, error) {
+	var out []*Analyzer
+	for _, name := range strings.Split(names, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		found := false
+		for _, a := range All() {
+			if a.Name == name {
+				out = append(out, a)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("unknown perf analyzer %q", name)
+		}
+	}
+	return out, nil
+}
+
+// Run applies the perf analyzers to one loaded package against the sweep's
+// compiler diagnostics, honouring //fbvet:allow suppressions, and returns
+// the surviving findings in canonical order.
+func Run(pkg *analyzers.Package, sw *Sweep, suite []*Analyzer) []analyzers.Diagnostic {
+	funcs := collectFuncs(pkg, sw.Root)
+	allowed := analyzers.Allows(pkg.Fset, pkg.Files)
+	var diags []analyzers.Diagnostic
+	for _, a := range suite {
+		pass := &Pass{
+			Analyzer: a,
+			Pkg:      pkg,
+			Sweep:    sw,
+			Funcs:    funcs,
+			report: func(d analyzers.Diagnostic) {
+				if allowed(d.Pos, d.Analyzer) {
+					return
+				}
+				diags = append(diags, d)
+			},
+		}
+		a.Run(pass)
+	}
+	analyzers.SortDiagnostics(diags)
+	return diags
+}
+
+// position converts a sweep diagnostic's root-relative location to the
+// absolute form the loaded packages (and the SARIF emitter) use.
+func (p *Pass) position(d Diag) token.Position {
+	return token.Position{
+		Filename: filepath.Join(p.Sweep.Root, filepath.FromSlash(d.File)),
+		Line:     d.Line,
+		Column:   d.Col,
+	}
+}

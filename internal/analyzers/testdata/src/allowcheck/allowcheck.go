@@ -38,3 +38,25 @@ func SelfAllow()            {}
 // weight (likely a typo hiding a live finding) and is flagged by the audit.
 /*fbvet:allow nosuchpass — justified in form, but the name is wrong */ // want "unknown analyzer"
 func UnknownName()                                                     {}
+
+// Perf directives in a function doc comment are where the perf suite reads
+// them: fine, with or without trailing rationale.
+//
+//fbvet:noescape
+//fbvet:inline hot accessor
+func PerfAnnotated(a int) int { return a + 1 }
+
+// A perf directive anywhere else binds to nothing — the perf suite silently
+// ignores it, so the contract it claims is not enforced.
+func StrandedPerfDirectives() {
+	/*fbvet:nobce*/ // want "not a function doc comment"
+	xs := []int{1, 2, 3}
+	_ = xs[1] /*fbvet:noescape*/ // want "not a function doc comment"
+}
+
+/*fbvet:inline*/ // want "not a function doc comment"
+var notAFunc = 7
+
+// A misspelled directive is a dead annotation hiding behind a typo.
+/*fbvet:noescap*/ // want "unknown fbvet directive"
+func Typo() {}

@@ -56,32 +56,60 @@ func New(capacity bundle.Size) *Cache {
 // the movement — classic policies get per-file tracing for free.
 func (c *Cache) SetTracer(t obs.Tracer) { c.tracer = t }
 
+// The accessors below sit inside every admission and eviction decision made
+// by the policies, so they carry perf contracts (enforced by `fbvet -perf`,
+// see internal/analyzers/perf): they must inline into callers and must not
+// force their receiver or arguments onto the heap.
+
 // Capacity reports the total capacity in bytes.
+//
+//fbvet:inline read per admission budget computation
+//fbvet:noescape
 func (c *Cache) Capacity() bundle.Size { return c.capacity }
 
 // Used reports the bytes currently occupied.
+//
+//fbvet:inline
+//fbvet:noescape
 func (c *Cache) Used() bundle.Size { return c.used }
 
 // Free reports the unoccupied bytes.
+//
+//fbvet:inline read per decay-and-evict round
+//fbvet:noescape
 func (c *Cache) Free() bundle.Size { return c.capacity - c.used }
 
 // Len reports the number of resident files.
+//
+//fbvet:inline
+//fbvet:noescape
 func (c *Cache) Len() int { return len(c.resident) }
 
 // Contains reports whether file f is resident.
+//
+//fbvet:inline read per file on ranking and prefetch paths
+//fbvet:noescape
 func (c *Cache) Contains(f bundle.FileID) bool {
 	_, ok := c.resident[f]
 	return ok
 }
 
 // SizeOf returns the resident size of f and whether it is resident.
+//
+//fbvet:inline
+//fbvet:noescape
 func (c *Cache) SizeOf(f bundle.FileID) (bundle.Size, bool) {
 	s, ok := c.resident[f]
 	return s, ok
 }
 
 // Supports reports whether every file of b is resident — the paper's
-// "request-hit": the cache supports r iff F(r) ⊆ F(C).
+// "request-hit": the cache supports r iff F(r) ⊆ F(C). It is the first
+// check of every Admit.
+//
+//fbvet:inline
+//fbvet:noescape
+//fbvet:nobce
 func (c *Cache) Supports(b bundle.Bundle) bool {
 	for _, f := range b {
 		if _, ok := c.resident[f]; !ok {
@@ -93,13 +121,19 @@ func (c *Cache) Supports(b bundle.Bundle) bool {
 
 // Missing returns the files of b that are not resident.
 func (c *Cache) Missing(b bundle.Bundle) bundle.Bundle {
-	var out bundle.Bundle
+	return c.MissingAppend(nil, b)
+}
+
+// MissingAppend appends the non-resident files of b to dst and returns the
+// extended slice — the allocation-free form of Missing for per-admission
+// callers that reuse a scratch slice.
+func (c *Cache) MissingAppend(dst, b bundle.Bundle) bundle.Bundle {
 	for _, f := range b {
 		if _, ok := c.resident[f]; !ok {
-			out = append(out, f)
+			dst = append(dst, f)
 		}
 	}
-	return out
+	return dst
 }
 
 // MissingBytes reports the total size of b's non-resident files under sizeOf.
@@ -193,6 +227,9 @@ func (c *Cache) Unpin(f bundle.FileID) error {
 }
 
 // Pinned reports whether f has a positive pin count.
+//
+//fbvet:inline read per file on every eviction scan
+//fbvet:noescape
 func (c *Cache) Pinned(f bundle.FileID) bool { return c.pins[f] > 0 }
 
 // PinBundle pins every file of b, or pins nothing and returns an error if any
@@ -219,12 +256,20 @@ func (c *Cache) UnpinBundle(b bundle.Bundle) error {
 
 // Resident returns the resident file IDs in ascending order.
 func (c *Cache) Resident() bundle.Bundle {
-	out := make(bundle.Bundle, 0, len(c.resident))
+	return c.ResidentAppend(make(bundle.Bundle, 0, len(c.resident)))
+}
+
+// ResidentAppend appends the resident file IDs to dst and returns the
+// extended slice sorted ascending as a whole — the allocation-free form of
+// Resident for per-admission callers (eviction scans) that reuse a scratch
+// slice. Pass an empty dst (typically scratch[:0]); prior contents are
+// sorted together with the appended IDs.
+func (c *Cache) ResidentAppend(dst bundle.Bundle) bundle.Bundle {
 	for f := range c.resident {
-		out = append(out, f)
+		dst = append(dst, f)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	sort.Slice(dst, func(i, j int) bool { return dst[i] < dst[j] })
+	return dst
 }
 
 // Counters reports cumulative traffic since construction or ResetCounters.

@@ -85,6 +85,16 @@ type OptFileBundle struct {
 	prefetched       []bundle.FileID
 	admissions       int64
 
+	// Selection and eviction scratch reused across admissions, so the
+	// steady-state Admit path stops allocating (ROADMAP item 2); the perf
+	// contracts on the selector internals keep it that way.
+	selScratch      resortState
+	candScratch     []Candidate
+	missScratch     bundle.Bundle
+	keepScratch     map[bundle.FileID]bool
+	residentScratch bundle.Bundle
+	evictScratch    bundle.Bundle
+
 	// tracer, when non-nil, receives an AdmitEvent per Admit and a
 	// SelectRoundEvent per OptCacheSelect run, stamped with the admission
 	// ordinal (the policy has no clock).
@@ -189,7 +199,8 @@ func (p *OptFileBundle) Admit(b bundle.Bundle) Result {
 		return res
 	}
 
-	missing := p.cache.Missing(b)
+	p.missScratch = p.cache.MissingAppend(p.missScratch[:0], b)
+	missing := p.missScratch
 	needed := missing.TotalSize(p.sizeOf)
 
 	// Reset the per-admission scratch here, not in replace(): a miss with
@@ -263,7 +274,12 @@ func (p *OptFileBundle) maybeDecay() {
 func (p *OptFileBundle) replace(b bundle.Bundle, needed bundle.Size) {
 	sel := p.runSelection(b)
 
-	keep := make(map[bundle.FileID]bool, len(sel.Files)+len(b))
+	if p.keepScratch == nil {
+		p.keepScratch = make(map[bundle.FileID]bool, len(sel.Files)+len(b))
+	} else {
+		clear(p.keepScratch)
+	}
+	keep := p.keepScratch
 	for _, f := range sel.Files {
 		keep[f] = true
 	}
@@ -271,13 +287,15 @@ func (p *OptFileBundle) replace(b bundle.Bundle, needed bundle.Size) {
 		keep[f] = true
 	}
 
-	resident := p.cache.Resident()
-	evictable := make(bundle.Bundle, 0, len(resident))
-	for _, f := range resident {
+	p.residentScratch = p.cache.ResidentAppend(p.residentScratch[:0])
+	p.evictScratch = p.evictScratch[:0]
+	evictable := p.evictScratch
+	for _, f := range p.residentScratch {
 		if !keep[f] && !p.cache.Pinned(f) {
 			evictable = append(evictable, f)
 		}
 	}
+	p.evictScratch = evictable
 
 	if p.opts.LiteralEvict {
 		for _, f := range evictable {
@@ -335,10 +353,11 @@ func (p *OptFileBundle) runSelection(b bundle.Bundle) Selection {
 		}
 		entries = filtered
 	}
-	cands := make([]Candidate, len(entries))
-	for i, e := range entries {
-		cands[i] = Candidate{Bundle: e.Bundle, Value: e.Value}
+	cands := p.candScratch[:0]
+	for _, e := range entries {
+		cands = append(cands, Candidate{Bundle: e.Bundle, Value: e.Value})
 	}
+	p.candScratch = cands
 	opts := SelectOptions{
 		SizeOf:   p.sizeOf,
 		DegreeOf: p.hist.CandidateDegreeFunc(entries),
@@ -348,9 +367,9 @@ func (p *OptFileBundle) runSelection(b bundle.Bundle) Selection {
 	budget := p.cache.Capacity() - b.TotalSize(p.sizeOf)
 	var sel Selection
 	if p.opts.SeedK > 0 {
-		sel = SelectSeeded(cands, budget, p.opts.SeedK, opts)
+		sel = selectSeededScratch(&p.selScratch, cands, budget, p.opts.SeedK, opts)
 	} else {
-		sel = Select(cands, budget, opts)
+		sel = selectScratch(&p.selScratch, cands, budget, opts)
 	}
 	if p.tracer != nil {
 		// maybeDecay has not bumped the ordinal yet for this admission;
@@ -376,6 +395,12 @@ func (p *OptFileBundle) runSelection(b bundle.Bundle) Selection {
 // decreasing RelativeValue order serves request-hits first, then the
 // cheapest valuable misses — exactly the paper's "serve the request of
 // highest relative value in the queue" rule.
+//
+// It runs once per queued request per drain decision, so it carries perf
+// contracts: no heap traffic, no residual bounds checks.
+//
+//fbvet:noescape
+//fbvet:nobce
 func (p *OptFileBundle) RelativeValue(b bundle.Bundle) float64 {
 	value := 1.0
 	if e, ok := p.hist.Lookup(b); ok {

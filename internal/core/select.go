@@ -69,6 +69,13 @@ type Selection struct {
 // Candidates whose charged size exceeds the capacity are skipped, exactly as
 // Step 2 skips requests with insufficient space.
 func Select(cands []Candidate, capacity bundle.Size, opts SelectOptions) Selection {
+	var s resortState
+	return selectScratch(&s, cands, capacity, opts)
+}
+
+// selectScratch is Select against caller-held scratch, so per-admission
+// callers (OptFileBundle) pay no selector allocations in steady state.
+func selectScratch(s *resortState, cands []Candidate, capacity bundle.Size, opts SelectOptions) Selection {
 	if opts.SizeOf == nil || opts.DegreeOf == nil {
 		panic("core: SelectOptions requires SizeOf and DegreeOf")
 	}
@@ -77,7 +84,7 @@ func Select(cands []Candidate, capacity bundle.Size, opts SelectOptions) Selecti
 	}
 	var sel Selection
 	if opts.Resort {
-		sel = selectResortFast(cands, capacity, opts, nil)
+		sel = s.run(cands, capacity, opts, nil)
 	} else {
 		sel = selectLiteral(cands, capacity, opts)
 	}
@@ -96,7 +103,14 @@ func Select(cands []Candidate, capacity bundle.Size, opts SelectOptions) Selecti
 // k <= 0 degenerates to Select. The seeded variant always uses the resort
 // greedy for completion.
 func SelectSeeded(cands []Candidate, capacity bundle.Size, k int, opts SelectOptions) Selection {
-	best := Select(cands, capacity, opts)
+	var s resortState
+	return selectSeededScratch(&s, cands, capacity, k, opts)
+}
+
+// selectSeededScratch is SelectSeeded against caller-held scratch; one
+// resortState serves the unseeded baseline and every seed trial.
+func selectSeededScratch(s *resortState, cands []Candidate, capacity bundle.Size, k int, opts SelectOptions) Selection {
+	best := selectScratch(s, cands, capacity, opts)
 	if k <= 0 {
 		return best
 	}
@@ -110,14 +124,14 @@ func SelectSeeded(cands []Candidate, capacity bundle.Size, k int, opts SelectOpt
 	seed := make([]int, 2)
 	for i := range cands {
 		seed[0] = i
-		consider(selectWithSeeds(cands, capacity, opts, seed[:1]))
+		consider(selectWithSeeds(s, cands, capacity, opts, seed[:1]))
 	}
 	if k >= 2 {
 		for i := range cands {
 			seed[0] = i
 			for j := i + 1; j < len(cands); j++ {
 				seed[1] = j
-				consider(selectWithSeeds(cands, capacity, opts, seed[:2]))
+				consider(selectWithSeeds(s, cands, capacity, opts, seed[:2]))
 			}
 		}
 	}
@@ -126,9 +140,9 @@ func SelectSeeded(cands []Candidate, capacity bundle.Size, k int, opts SelectOpt
 
 // selectWithSeeds forces the seed candidates into the solution (if they fit)
 // and completes greedily. ok is false when the seeds alone overflow capacity.
-func selectWithSeeds(cands []Candidate, capacity bundle.Size, opts SelectOptions, seeds []int) (Selection, bool) {
+func selectWithSeeds(s *resortState, cands []Candidate, capacity bundle.Size, opts SelectOptions, seeds []int) (Selection, bool) {
 	opts.Resort = true
-	sel := selectResortFast(cands, capacity, opts, seeds)
+	sel := s.run(cands, capacity, opts, seeds)
 	if sel.Chosen == nil && len(seeds) > 0 {
 		return sel, false
 	}
@@ -162,7 +176,14 @@ func adjustedDenominator(b bundle.Bundle, opts SelectOptions, skip map[bundle.Fi
 	return denom
 }
 
-// chargedSize computes the real bytes b adds beyond files in skip.
+// chargedSize computes the real bytes b adds beyond files in skip. It runs
+// once per candidate per selection (step-three scan, literal ranking,
+// reference rounds), so it must inline into its callers and stay
+// allocation- and bounds-check-free.
+//
+//fbvet:inline hot per-candidate helper; must disappear into callers
+//fbvet:noescape
+//fbvet:nobce
 func chargedSize(b bundle.Bundle, sizeOf bundle.SizeFunc, skip map[bundle.FileID]bool) bundle.Size {
 	var total bundle.Size
 	for _, f := range b {

@@ -7,119 +7,236 @@ import (
 	"fbcache/internal/floats"
 )
 
-// selectResortFast is an incrementally-maintained implementation of the
-// resort greedy with identical semantics to selectResortReference: instead
-// of re-walking every candidate's bundle on every round (O(rounds·n·b)), it
-// keeps each candidate's charged size and adjusted denominator up to date
-// through an inverted file→candidates index, so each round costs O(n) plus
-// the size of the newly-covered files' postings (O(total postings) across
-// the whole run).
+// candState is the per-candidate row of the incremental resort greedy: the
+// request value plus the charged size and adjusted denominator kept up to
+// date as files are covered. One combined struct (rather than parallel
+// slices) keeps the argmax scan a single-slice walk the compiler can prove
+// bounds-free.
+type candState struct {
+	value float64     // v(r)
+	denom float64     // Σ s'(f) over not-yet-covered files
+	size  bundle.Size // charged bytes if picked now
+	taken bool
+}
+
+// resortState holds the scratch of the resort greedy so steady-state
+// admissions allocate nothing: the candidate table, the skip set, the
+// file→candidates postings and the chosen-file set all survive across runs
+// (OptFileBundle keeps one per policy instance; SelectSeeded reuses one
+// across all seed trials). Results that escape to the caller (Chosen, Files)
+// are still freshly allocated per run — only internal scratch is pooled.
+type resortState struct {
+	st          []candState
+	skip        map[bundle.FileID]bool
+	posting     map[bundle.FileID][]int
+	chosenFiles map[bundle.FileID]bool
+}
+
+// reset prepares the scratch for n candidates. Postings are truncated in
+// place, not deleted, so their backing arrays feed the next run; the key set
+// converges on the candidate file universe and stops allocating.
+func (s *resortState) reset(n int) {
+	if cap(s.st) < n {
+		s.st = make([]candState, n)
+	}
+	s.st = s.st[:n]
+	for i := range s.st {
+		s.st[i] = candState{}
+	}
+	if s.skip == nil {
+		s.skip = make(map[bundle.FileID]bool)
+		s.posting = make(map[bundle.FileID][]int)
+		s.chosenFiles = make(map[bundle.FileID]bool)
+		return
+	}
+	clear(s.skip)
+	clear(s.chosenFiles)
+	for f, p := range s.posting {
+		s.posting[f] = p[:0]
+	}
+}
+
+// argmax returns the index of the best pickable candidate (untaken, fits in
+// budget, maximum v(r)/denom with the reference's tolerant tie-break), or -1
+// when no candidate fits. This is the per-round inner loop of every
+// admission; the contracts below keep a refactor from re-introducing heap
+// traffic or per-element bounds checks.
+//
+//fbvet:noescape the scan must stay register/stack only
+//fbvet:nobce single-slice walk; BCE must discharge every st[i]
+func (s *resortState) argmax(budget bundle.Size) int {
+	best := -1
+	bestV := math.Inf(-1)
+	bestVal := 0.0
+	st := s.st
+	for i := range st {
+		if st[i].taken || st[i].size > budget {
+			continue
+		}
+		v := math.Inf(1)
+		if st[i].denom > 0 {
+			v = st[i].value / st[i].denom
+		}
+		// Mirror selectResortReference's tolerant tie-break exactly: the
+		// incremental denominators here drift from the recomputed ones by
+		// ulps, and only an epsilon comparison keeps the two in lockstep.
+		if best < 0 || floats.Greater(v, bestV) ||
+			(floats.AlmostEqual(v, bestV) && st[i].value > bestVal) {
+			best, bestV, bestVal = i, v, st[i].value
+		}
+	}
+	return best
+}
+
+// chargeCovered discounts a newly-covered file from every candidate still
+// holding it: sz off the charged size, sp = s'(f) off the denominator. The
+// posting list is truncated so the file charges nobody twice and its backing
+// array is reusable by the next run.
+//
+//fbvet:noescape posting updates must not spill scratch to the heap
+//fbvet:nobce the index guard below is the proof BCE needs
+func (s *resortState) chargeCovered(f bundle.FileID, sz bundle.Size, sp float64) {
+	st := s.st
+	for _, i := range s.posting[f] {
+		if uint(i) >= uint(len(st)) {
+			continue
+		}
+		st[i].size -= sz
+		st[i].denom -= sp
+		if st[i].denom < 0 { // FP slack
+			st[i].denom = 0
+		}
+	}
+	s.posting[f] = s.posting[f][:0]
+}
+
+// cover marks f as selected (skip) and discounts it from all candidates.
+func (s *resortState) cover(f bundle.FileID, opts SelectOptions) {
+	if s.skip[f] {
+		return
+	}
+	s.skip[f] = true
+	d := opts.DegreeOf(f)
+	if d < 1 {
+		d = 1
+	}
+	sz := opts.SizeOf(f)
+	s.chargeCovered(f, sz, float64(sz)/float64(d))
+}
+
+// run is an incrementally-maintained implementation of the resort greedy
+// with identical semantics to selectResortReference: instead of re-walking
+// every candidate's bundle on every round (O(rounds·n·b)), it keeps each
+// candidate's charged size and adjusted denominator up to date through an
+// inverted file→candidates index, so each round costs O(n) plus the size of
+// the newly-covered files' postings (O(total postings) across the whole
+// run).
 //
 // Equivalence with the reference implementation is enforced by the
 // TestQuickFastMatchesReference property test.
-func selectResortFast(cands []Candidate, capacity bundle.Size, opts SelectOptions, seeds []int) Selection {
+func (s *resortState) run(cands []Candidate, capacity bundle.Size, opts SelectOptions, seeds []int) Selection {
 	n := len(cands)
-	size := make([]bundle.Size, n) // charged bytes if picked now
-	denom := make([]float64, n)    // Σ s'(f) over not-yet-covered files
-	taken := make([]bool, n)
+	s.reset(n)
 
 	// skip starts as the Free set; files become skipped as they are chosen.
-	skip := make(map[bundle.FileID]bool, len(opts.Free))
 	for _, f := range opts.Free {
-		skip[f] = true
+		s.skip[f] = true
+	}
+
+	// Step 3's single-request comparison, computed up front while skip is
+	// exactly the Free set (the greedy below mutates it). Same inputs, same
+	// answer as running applyStepThree at the end — minus a per-run map.
+	soloIdx, soloVal := -1, 0.0
+	var soloSize bundle.Size
+	for i, c := range cands {
+		if c.Value <= soloVal {
+			continue
+		}
+		sz := chargedSize(c.Bundle, opts.SizeOf, s.skip)
+		if sz > capacity {
+			continue
+		}
+		soloIdx, soloVal, soloSize = i, c.Value, sz
 	}
 
 	// Inverted index over the files that can still charge candidates.
-	posting := make(map[bundle.FileID][]int)
 	for i, c := range cands {
+		s.st[i].value = c.Value
 		for _, f := range c.Bundle {
-			if skip[f] {
+			if s.skip[f] {
 				continue
 			}
 			d := opts.DegreeOf(f)
 			if d < 1 {
 				d = 1
 			}
-			size[i] += opts.SizeOf(f)
-			denom[i] += float64(opts.SizeOf(f)) / float64(d)
-			posting[f] = append(posting[f], i)
+			sz := opts.SizeOf(f)
+			s.st[i].size += sz
+			s.st[i].denom += float64(sz) / float64(d)
+			s.posting[f] = append(s.posting[f], i)
 		}
 	}
 
-	chosenFiles := make(map[bundle.FileID]bool)
 	var sel Selection
 	budget := capacity
 
-	cover := func(f bundle.FileID) {
-		if skip[f] {
-			return
-		}
-		skip[f] = true
-		d := opts.DegreeOf(f)
-		if d < 1 {
-			d = 1
-		}
-		s := opts.SizeOf(f)
-		sp := float64(s) / float64(d)
-		for _, i := range posting[f] {
-			size[i] -= s
-			denom[i] -= sp
-			if denom[i] < 0 { // FP slack
-				denom[i] = 0
-			}
-		}
-		delete(posting, f)
-	}
-
 	pick := func(i int) bool {
-		if size[i] > budget {
+		if s.st[i].size > budget {
 			return false
 		}
-		budget -= size[i]
-		sel.BudgetUsed += size[i]
+		budget -= s.st[i].size
+		sel.BudgetUsed += s.st[i].size
 		sel.Chosen = append(sel.Chosen, i)
 		sel.Value += cands[i].Value
-		taken[i] = true
+		s.st[i].taken = true
 		for _, f := range cands[i].Bundle {
-			chosenFiles[f] = true
-			cover(f)
+			s.chosenFiles[f] = true
+			s.cover(f, opts)
 		}
 		return true
 	}
 
-	for _, s := range seeds {
-		if s < 0 || s >= n || taken[s] {
+	for _, sd := range seeds {
+		if sd < 0 || sd >= n || s.st[sd].taken {
 			continue
 		}
-		if !pick(s) {
+		if !pick(sd) {
 			return Selection{} // seed does not fit
 		}
 	}
 
 	for {
-		bestIdx, bestV := -1, math.Inf(-1)
-		for i := range cands {
-			if taken[i] || size[i] > budget {
-				continue
-			}
-			v := math.Inf(1)
-			if denom[i] > 0 {
-				v = cands[i].Value / denom[i]
-			}
-			// Mirror selectResortReference's tolerant tie-break exactly: the
-			// incremental denominators here drift from the recomputed ones by
-			// ulps, and only an epsilon comparison keeps the two in lockstep.
-			if bestIdx < 0 || floats.Greater(v, bestV) ||
-				(floats.AlmostEqual(v, bestV) && cands[i].Value > cands[bestIdx].Value) {
-				bestIdx, bestV = i, v
-			}
-		}
-		if bestIdx < 0 {
+		i := s.argmax(budget)
+		if i < 0 {
 			break
 		}
-		pick(bestIdx)
+		pick(i)
 	}
 
-	sel.Files = setToBundle(chosenFiles)
-	return applyStepThree(sel, cands, capacity, opts, freeSet(opts.Free))
+	sel.Files = setToBundle(s.chosenFiles)
+
+	// Step 3: the answer is the max of the greedy set and the single
+	// highest-value request that fits by itself (precomputed above).
+	if soloIdx >= 0 && soloVal > sel.Value {
+		files := make(map[bundle.FileID]bool)
+		for _, f := range cands[soloIdx].Bundle {
+			files[f] = true
+		}
+		return Selection{
+			Chosen:       []int{soloIdx},
+			Files:        setToBundle(files),
+			Value:        soloVal,
+			SingleWinner: true,
+			BudgetUsed:   soloSize,
+		}
+	}
+	return sel
+}
+
+// selectResortFast runs the incremental resort greedy with fresh scratch —
+// the entry point for one-shot callers; per-admission callers hold a
+// resortState and call run directly.
+func selectResortFast(cands []Candidate, capacity bundle.Size, opts SelectOptions, seeds []int) Selection {
+	var s resortState
+	return s.run(cands, capacity, opts, seeds)
 }

@@ -35,6 +35,11 @@ type Landlord struct {
 	// CreditDecayEvent per decay round of Algorithm 3 Step 3.
 	admissions int64
 	tracer     obs.Tracer
+
+	// evictScratch backs evictableOutside's result; Step 3 rebuilds it every
+	// decay-and-evict round, so reusing one slice keeps the eviction loop
+	// allocation-free in steady state.
+	evictScratch bundle.Bundle
 }
 
 // New returns a Landlord policy with cost(f) = size(f).
@@ -96,7 +101,12 @@ func (l *Landlord) emitAdmit(res policy.Result, files int) {
 	})
 }
 
-// Credit reports the current credit of f (0 if not resident).
+// Credit reports the current credit of f (0 if not resident). It sits on
+// the min-credit scan of every decay round, so it carries perf contracts:
+// it must inline and must not force its receiver onto the heap.
+//
+//fbvet:inline
+//fbvet:noescape
 func (l *Landlord) Credit(f bundle.FileID) float64 { return l.credits[f] }
 
 // resetCredit gives f its full credit: cost(f)/size(f); zero-size files get
@@ -224,11 +234,12 @@ func (l *Landlord) Admit(b bundle.Bundle) policy.Result {
 }
 
 // evictableOutside returns resident, unpinned files not in b — the paper's
-// F(C') = F(C) \ F(r_new).
+// F(C') = F(C) \ F(r_new). The result aliases evictScratch and is valid
+// until the next call (Admit consumes it within one decay round).
 func (l *Landlord) evictableOutside(b bundle.Bundle) []bundle.FileID {
-	resident := l.cache.Resident()
-	out := make([]bundle.FileID, 0, len(resident))
-	for _, f := range resident {
+	l.evictScratch = l.cache.ResidentAppend(l.evictScratch[:0])
+	out := l.evictScratch[:0] // in-place filter: write index trails read index
+	for _, f := range l.evictScratch {
 		if b.Contains(f) || l.cache.Pinned(f) {
 			continue
 		}

@@ -1,7 +1,6 @@
 package simulate
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"math/rand"
@@ -210,6 +209,10 @@ type gridStager struct {
 	reps  *grid.Replicas
 	sites []*mss.System // indexed by SiteID
 	rs    *resilient
+
+	// srcs is the ranked-source scratch reused across stage calls (one
+	// ranking happens per staged file; stageFile only reads the slice).
+	srcs []int
 }
 
 // siteAvailability adapts the injector's per-site schedule (outages,
@@ -254,11 +257,11 @@ func (g *gridStager) stage(now float64, job int, files bundle.Bundle, sizeOf bun
 		if len(ranked) == 0 {
 			return stageOutcome{}, fmt.Errorf("simulate: no reachable replica for file %d", f)
 		}
-		srcs := make([]int, len(ranked))
-		for i, s := range ranked {
-			srcs[i] = int(s.Site)
+		g.srcs = g.srcs[:0]
+		for _, s := range ranked {
+			g.srcs = append(g.srcs, int(s.Site))
 		}
-		at, ok := g.rs.stageFile(now, deadline, job, srcs, func(k int, t float64) float64 {
+		at, ok := g.rs.stageFile(now, deadline, job, g.srcs, func(k int, t float64) float64 {
 			site := ranked[k].Site
 			return g.sites[site].Fetch(t, size) + g.wanSeconds(site, size)
 		})
@@ -337,17 +340,84 @@ type event struct {
 	job  int // index into jobs (arrival) or running-job handle (completion)
 }
 
-type eventHeap []event
+// eventQueue is a binary min-heap of events ordered by time. It replaces
+// container/heap, whose interface{} Push/Pop boxed one event per queue
+// operation — two heap allocations per simulated event. The sift loops
+// reproduce container/heap's comparison order exactly, so the relative order
+// of equal-timestamp events — and therefore golden traces and the
+// determinism gates — is unchanged.
+type eventQueue struct {
+	ev []event
+}
 
-func (h eventHeap) Len() int            { return len(h) }
-func (h eventHeap) Less(i, j int) bool  { return h[i].at < h[j].at }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
+func (q *eventQueue) len() int { return len(q.ev) }
+
+// push inserts e, sifting it up. One push happens per simulated event, so it
+// carries perf contracts (the sift holds e and shifts parents down, which
+// performs the same comparisons as container/heap's swap loop and leaves the
+// same array).
+//
+//fbvet:noescape
+//fbvet:nobce parent index (j-1)/2 < j stays provably in range
+func (q *eventQueue) push(e event) {
+	q.ev = append(q.ev, e)
+	ev := q.ev
+	// Unsigned indices: j starts at len-1 < len and only ever moves to the
+	// parent (j-1)/2 < j, so every access stays in range and prove can drop
+	// the bounds checks.
+	j := uint(len(ev) - 1)
+	for j > 0 && j < uint(len(ev)) {
+		i := (j - 1) / 2 // parent
+		if !(e.at < ev[i].at) {
+			break
+		}
+		ev[j] = ev[i]
+		j = i
+	}
+	if j < uint(len(ev)) {
+		ev[j] = e
+	}
+}
+
+// pop removes and returns the earliest event, sifting the displaced tail
+// element down with container/heap's exact comparison order. Calling pop on
+// an empty queue returns the zero event (the run loop guards on len).
+//
+//fbvet:noescape
+//fbvet:nobce child indices are guarded against n before use
+func (q *eventQueue) pop() event {
+	ev := q.ev
+	n := len(ev) - 1
+	if n < 0 {
+		return event{}
+	}
+	ev[0], ev[n] = ev[n], ev[0]
+	// Unsigned child indices: 2*i+1 can overflow a signed int, which is why
+	// container/heap carries a j1 < 0 guard; with uint arithmetic the wrap
+	// lands above un and the same >= test covers it, so prove can drop the
+	// bounds checks inside the loop.
+	un := uint(n)
+	i := uint(0)
+	for {
+		j1 := 2*i + 1
+		if j1 >= un {
+			break
+		}
+		j := j1 // left child
+		if j2 := j1 + 1; j2 < un && ev[j2].at < ev[j1].at {
+			j = j2 // right child is earlier
+		}
+		if j >= un || i >= un {
+			break // unreachable: j ∈ {j1, j2} < un and i is a previous j
+		}
+		if !(ev[j].at < ev[i].at) {
+			break
+		}
+		ev[i], ev[j] = ev[j], ev[i]
+		i = j
+	}
+	e := ev[n]
+	q.ev = ev[:n]
 	return e
 }
 
@@ -430,15 +500,15 @@ func RunEvents(w *workload.Workload, p policy.Policy, opts EventOptions) (EventS
 	}
 
 	var (
-		h           eventHeap
+		h           eventQueue
 		waiting     []int // job indices queued for a slot, FIFO
 		inFlight    = make(map[int]running)
 		nextHandle  int
 		slotsFree   = opts.Slots
 		pinnedBytes bundle.Size
 
-		responses []float64
-		stagings  []float64
+		responses = make([]float64, 0, len(jobs))
+		stagings  = make([]float64, 0, len(jobs))
 		hits      int64
 		bytesReq  bundle.Size
 		bytesMiss bundle.Size
@@ -462,8 +532,11 @@ func RunEvents(w *workload.Workload, p policy.Policy, opts EventOptions) (EventS
 	}
 	maxJobAttempts := inj.Scenario().MaxJobAttempts
 
+	// All arrivals are known up front; one backing array sized for them plus
+	// the in-flight completions serves the whole run.
+	h.ev = make([]event, 0, len(jobs)+opts.Slots+1)
 	for i := range jobs {
-		heap.Push(&h, event{at: arrivals[i], kind: evArrival, job: i})
+		h.push(event{at: arrivals[i], kind: evArrival, job: i})
 	}
 
 	dispatch := func(now float64) {
@@ -537,7 +610,7 @@ func RunEvents(w *workload.Workload, p policy.Policy, opts EventOptions) (EventS
 					// discovered, then requeue or fail the job from evFailed.
 					restage[j] = toStage
 					slotsFree--
-					heap.Push(&h, event{at: out.at, kind: evFailed, job: j})
+					h.push(event{at: out.at, kind: evFailed, job: j})
 					continue
 				}
 				staged = out.at
@@ -563,12 +636,12 @@ func RunEvents(w *workload.Workload, p policy.Policy, opts EventOptions) (EventS
 				bundleRef: b, arrival: arrivals[j],
 				jobIdx: j, hit: res.Hit, staged: staged, loaded: res.BytesLoaded,
 			}
-			heap.Push(&h, event{at: done, kind: evCompletion, job: handle})
+			h.push(event{at: done, kind: evCompletion, job: handle})
 		}
 	}
 
-	for h.Len() > 0 && stageErr == nil {
-		e := heap.Pop(&h).(event)
+	for h.len() > 0 && stageErr == nil {
+		e := h.pop()
 		switch e.kind {
 		case evArrival:
 			waiting = append(waiting, e.job)
