@@ -7,7 +7,7 @@ GO ?= go
 #   make fuzz FUZZTIME=5m
 FUZZTIME ?= 30s
 
-.PHONY: all build test test-invariant lint vet fbvet sarif doc-lint perfgate perfgate-sarif race bench bench-guard bench-json bench-require trace-check fuzz soak clean
+.PHONY: all build test test-invariant lint vet fbvet sarif doc-lint perfgate perfgate-sarif race bench bench-guard bench-json bench-require bench-json-replicate bench-require-replicate trace-check fuzz soak clean
 
 all: build lint test
 
@@ -105,11 +105,30 @@ bench-require:
 		| $(GO) run ./cmd/benchjson -require OptCacheSelect -require Landlord \
 			-baseline BENCH_core.json -max-ns-ratio $(NSRATIO) -max-alloc-ratio 1.01 -out /dev/null
 
+# bench-json-replicate snapshots the replication planner's benchmarks
+# (static Plan, per-arrival predictor fold, full Replan epoch) into
+# BENCH_replicate.json — the planner runs inside the event loop every epoch,
+# so its cost curve is gated like the core select loops.
+bench-json-replicate:
+	$(GO) test -run '^$$' -bench 'BenchmarkPlan|BenchmarkPredictorObserve|BenchmarkReplan' \
+		-benchmem -benchtime=100x ./internal/replicate/ \
+		| $(GO) run ./cmd/benchjson -require Plan -require PredictorObserve -require Replan -out BENCH_replicate.json
+	@echo wrote BENCH_replicate.json
+
+# bench-require-replicate compares a fresh run against the checked-in
+# BENCH_replicate.json under the same thresholds as bench-require.
+bench-require-replicate:
+	$(GO) test -run '^$$' -bench 'BenchmarkPlan|BenchmarkPredictorObserve|BenchmarkReplan' \
+		-benchmem -benchtime=100x ./internal/replicate/ \
+		| $(GO) run ./cmd/benchjson -require Plan -require PredictorObserve -require Replan \
+			-baseline BENCH_replicate.json -max-ns-ratio $(NSRATIO) -max-alloc-ratio 1.01 -out /dev/null
+
 # trace-check replays the golden event trace through the offline validator:
 # reconstructed residency must satisfy the cache invariants at the golden
 # workload's capacity (7 bytes).
 trace-check:
 	$(GO) run ./cmd/fbtrace validate -capacity 7 internal/simulate/testdata/golden_trace.jsonl
+	$(GO) run ./cmd/fbtrace validate internal/simulate/testdata/golden_replica_trace.jsonl
 
 # fuzz gives each harness FUZZTIME of coverage-guided search on top of the
 # checked-in corpora (testdata/fuzz/...). The Landlord target runs with
@@ -120,10 +139,11 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzLandlordInvariants -fuzztime $(FUZZTIME) -tags fbinvariant ./internal/policy/landlord/
 
 # soak replays the fault-injection scenarios with invariants armed: the
-# multi-policy fault soak plus the determinism and zero-scenario bit-identity
-# gates for the resilience layer (internal/faults + the retry/failover paths).
+# multi-policy fault soak, the churn+correlated generated-scenario soak with
+# the epoch re-planner running, and the determinism and bit-identity gates
+# for the resilience and replication layers.
 soak:
-	$(GO) test -tags fbinvariant ./internal/simulate/ -run 'TestFaultSoak|TestFaultsDeterministic|TestFaultsZeroScenarioBitIdentical' -v
+	$(GO) test -tags fbinvariant ./internal/simulate/ -run 'TestFaultSoak|TestFaultSoakChurnCorrelated|TestFaultsDeterministic|TestFaultsZeroScenarioBitIdentical|TestReplicationDeterministic|TestReplicationZeroBudgetBitIdentical' -v
 
 clean:
 	$(GO) clean ./...

@@ -124,6 +124,10 @@ func runSummary(args []string, stdout, stderr io.Writer) int {
 	st := s.Stats
 	fmt.Fprintf(stdout, "events: %d admits, %d loads, %d evicts, %d select rounds, %d jobs served\n",
 		st.Admits, st.Loads, st.Evicts, st.SelectRounds, st.JobsServed)
+	if st.ReplicaPlans > 0 {
+		fmt.Fprintf(stdout, "replication: %d plan epoch(s), %d bytes re-replicated\n",
+			st.ReplicaPlans, st.BytesReplicated)
+	}
 	for _, p := range s.Policies {
 		fmt.Fprintf(stdout, "\npolicy %s:\n", p.Policy)
 		fmt.Fprintf(stdout, "  admissions       %d (%d hits, %d unserviceable)\n",

@@ -7,12 +7,16 @@
 //	srmbench -addr localhost:7070 -clients 8 -jobs 200
 //
 // With -degraded it instead runs the (serverless) degraded-mode experiment:
-// the timed simulator under rising per-transfer failure rates, tabling hit
-// ratio and mean job slowdown per policy. The table is deterministic for a
-// given -seed:
+// the timed simulator staging across a 2-site grid with a mid-run
+// remote-archive outage, under rising per-transfer failure rates, tabling
+// hit ratio, mean job slowdown, outage recovery time and re-replication
+// bytes per policy. With -replication it sweeps the adaptive planner's
+// byte budget over the same outage (static grid vs rising budgets). Both
+// tables are deterministic for a given -seed:
 //
 //	srmbench -degraded
 //	srmbench -degraded -jobs 500 -seed 7 -csv
+//	srmbench -replication
 package main
 
 import (
@@ -43,8 +47,9 @@ func main() {
 		seed       = flag.Int64("seed", 1, "workload seed")
 		retries    = flag.Int("retries", 1, "client stage attempts when the server answers busy/retryable (1 = no retry)")
 		degraded   = flag.Bool("degraded", false, "run the degraded-mode fault experiment instead of benching a server")
-		csv        = flag.Bool("csv", false, "with -degraded: emit CSV instead of the aligned table")
-		traceOut   = flag.String("trace-out", "", "write a JSONL event trace: simulator events with -degraded, client-observed job records otherwise")
+		replSweep  = flag.Bool("replication", false, "run the replication-budget recovery experiment instead of benching a server")
+		csv        = flag.Bool("csv", false, "with -degraded/-replication: emit CSV instead of the aligned table")
+		traceOut   = flag.String("trace-out", "", "write a JSONL event trace: simulator events with -degraded/-replication, client-observed job records otherwise")
 	)
 	flag.Parse()
 
@@ -65,8 +70,8 @@ func main() {
 		}()
 	}
 
-	if *degraded {
-		if err := runDegraded(*jobs, *clients, *files, *requests, *cacheGB, *seed, *csv, tracer, os.Stdout); err != nil {
+	if *degraded || *replSweep {
+		if err := runExperiment(*replSweep, *jobs, *clients, *files, *requests, *cacheGB, *seed, *csv, tracer, os.Stdout); err != nil {
 			fail(err)
 		}
 		return
@@ -100,10 +105,12 @@ func main() {
 	sum.print(os.Stdout)
 }
 
-// runDegraded runs the serverless degraded-mode experiment and writes the
-// table. jobs is per simulation point; the remaining knobs mirror the bench
-// workload so both modes describe the same traffic.
-func runDegraded(jobs, clients, files, requests int, cacheGB float64, seed int64, csv bool, tracer *obs.JSONLSink, out *os.File) error {
+// runExperiment runs one of the serverless fault experiments — the
+// replication-budget recovery sweep (replication=true) or the degraded-mode
+// failure-rate sweep — and writes the table. jobs is per simulation point;
+// the remaining knobs mirror the bench workload so all modes describe the
+// same traffic.
+func runExperiment(replication bool, jobs, clients, files, requests int, cacheGB float64, seed int64, csv bool, tracer *obs.JSONLSink, out *os.File) error {
 	cfg := experiment.DefaultConfig()
 	cfg.Seed = seed
 	cfg.Jobs = jobs * clients
@@ -114,7 +121,11 @@ func runDegraded(jobs, clients, files, requests int, cacheGB float64, seed int64
 	if tracer != nil {
 		cfg.Tracer = tracer
 	}
-	t, err := cfg.DegradedMode()
+	run := cfg.DegradedMode
+	if replication {
+		run = cfg.ReplicationStudy
+	}
+	t, err := run()
 	if err != nil {
 		return err
 	}

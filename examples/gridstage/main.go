@@ -90,12 +90,12 @@ func main() {
 		fail(err)
 	}
 	var planned fbcache.Size
-	for _, a := range plan {
+	for _, a := range plan.Actions {
 		planned += a.Size
 	}
 	fmt.Printf("\nreplication plan: %d hot files (%v) copied to lbl-disk (budget %v)\n\n",
-		len(plan), planned, fbcache.Size(replicaGB*fbcache.GB))
-	fbcache.ApplyReplication(plan, topo, reps)
+		len(plan.Actions), planned, fbcache.Size(replicaGB*fbcache.GB))
+	fbcache.ApplyReplication(plan.Actions, topo, reps)
 
 	after := runOnce("with local replicas")
 

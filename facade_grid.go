@@ -35,13 +35,17 @@ func NewReplicas() *Replicas { return grid.NewReplicas() }
 type (
 	// ReplicationAction is one planned copy to the local site.
 	ReplicationAction = replicate.Action
+	// ReplicationResult is a computed plan plus the files that had no
+	// reachable replica and were skipped.
+	ReplicationResult = replicate.Result
 	// History is the L(R) request-history structure.
 	History = history.History
 )
 
 // PlanReplication plans which files to copy locally, greedy by expected
-// staging-time savings per byte, within `budget` bytes.
-func PlanReplication(hist *History, topo *Topology, reps *Replicas, sizeOf SizeFunc, budget Size) ([]ReplicationAction, error) {
+// staging-time savings per byte, within `budget` bytes. Hot files without a
+// reachable replica are skipped and reported in the result, not fatal.
+func PlanReplication(hist *History, topo *Topology, reps *Replicas, sizeOf SizeFunc, budget Size) (ReplicationResult, error) {
 	return replicate.Plan(hist, topo, reps, sizeOf, budget)
 }
 

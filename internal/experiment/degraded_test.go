@@ -23,8 +23,8 @@ func TestDegradedModeShapeAndBaseline(t *testing.T) {
 	if len(tab.Rows) != len(degradedFailureRates) {
 		t.Fatalf("rows = %d, want %d", len(tab.Rows), len(degradedFailureRates))
 	}
-	if len(tab.Series) != 6 {
-		t.Fatalf("series = %v, want 3 policies x (hit, slowdown)", tab.Series)
+	if len(tab.Series) != 12 {
+		t.Fatalf("series = %v, want 3 policies x (hit, slowdown, recovery, rerepl GB)", tab.Series)
 	}
 
 	for _, name := range []string{"opt", "landlord", "gdsf"} {
@@ -46,11 +46,22 @@ func TestDegradedModeShapeAndBaseline(t *testing.T) {
 			t.Errorf("%s slowdown at p=0 = %v, want exactly 1", name, slow[0])
 		}
 		// Failures only ever add retries and backoff waits; the heaviest
-		// failure rate cannot make jobs faster than the fault-free run.
+		// failure rate cannot make jobs faster than the zero-rate run.
 		last := slow[len(slow)-1]
 		if math.IsNaN(last) || last < 1 {
 			t.Errorf("%s slowdown at p=%v = %v, want >= 1", name,
 				degradedFailureRates[len(degradedFailureRates)-1], last)
+		}
+		// The re-planner is armed in every row and the outage forces WAN
+		// staging, so it must have moved bytes.
+		rerepl, err := tab.SeriesValues(name + " rerepl GB")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, g := range rerepl {
+			if g <= 0 {
+				t.Errorf("%s rerepl[%d] = %v, want > 0", name, i, g)
+			}
 		}
 	}
 }

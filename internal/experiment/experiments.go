@@ -39,8 +39,8 @@ type Config struct {
 	// Progress, when non-nil, receives one line per completed run.
 	Progress io.Writer
 	// Tracer, when non-nil, receives the timed simulator's Stage and
-	// JobServed events from experiments that run RunEvents (currently
-	// DegradedMode). With several policies and failure rates in one sweep,
+	// JobServed events from experiments that run RunEvents (DegradedMode,
+	// ReplicationStudy). With several policies and failure rates in one sweep,
 	// expect interleaved streams; each policy/rate run is emitted in order.
 	Tracer obs.Tracer
 }

@@ -1,0 +1,82 @@
+package experiment
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func replicationTestConfig() Config {
+	c := DefaultConfig()
+	c.Jobs = 400
+	c.NumFiles = 100
+	c.NumRequests = 60
+	return c
+}
+
+func TestReplicationStudyShape(t *testing.T) {
+	c := replicationTestConfig()
+	tab, err := c.ReplicationStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 || tab.Rows[0].Label != "static" {
+		t.Fatalf("rows = %+v, want static + 3 budgets", tab.Rows)
+	}
+	rerepl, err := tab.SeriesValues("rerepl GB")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rerepl[0] != 0 {
+		t.Errorf("static row re-replicated %v GB", rerepl[0])
+	}
+	for i, g := range rerepl[1:] {
+		if g <= 0 {
+			t.Errorf("budget row %d re-replicated nothing", i+1)
+		}
+	}
+	// The largest budget must beat the static grid on post-outage health:
+	// recover (static may not) and hold a higher post-outage ratio.
+	rec, err := tab.SeriesValues("recovery sec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	post, err := tab.SeriesValues("post-outage ratio")
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := len(tab.Rows) - 1
+	if math.IsNaN(rec[best]) {
+		t.Errorf("largest budget never recovered: %+v", tab.Rows[best])
+	}
+	if !math.IsNaN(rec[0]) && rec[best] > rec[0] {
+		t.Errorf("largest budget recovery %.1fs slower than static %.1fs", rec[best], rec[0])
+	}
+	if post[best] <= post[0] {
+		t.Errorf("largest budget post-outage ratio %.3f not above static %.3f", post[best], post[0])
+	}
+}
+
+func TestReplicationStudyDeterministic(t *testing.T) {
+	c := replicationTestConfig()
+	a, err := c.ReplicationStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.ReplicationStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare rendered output: DeepEqual would reject the identical tables
+	// over NaN ("-") cells, since NaN != NaN.
+	var ra, rb strings.Builder
+	if err := a.Render(&ra); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Render(&rb); err != nil {
+		t.Fatal(err)
+	}
+	if ra.String() != rb.String() {
+		t.Fatalf("same config produced different replication tables:\n%s\n%s", ra.String(), rb.String())
+	}
+}

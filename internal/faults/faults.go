@@ -252,17 +252,75 @@ func (in *Injector) Up(site int, at float64) bool {
 }
 
 // SiteNextUp returns the earliest t >= at with the site's MSS out of every
-// outage window. +Inf is impossible for finite schedules, but callers should
-// still treat large values defensively.
+// outage window. The never-up sentinel is +Inf: a window whose End is +Inf
+// models a site that left the grid for good, and every finite schedule
+// returns a finite time — callers must treat +Inf as "never" (the simulator's
+// dark-grid wait abandons staging on it) rather than a schedulable instant.
 func (in *Injector) SiteNextUp(site int, at float64) float64 {
 	return nextClear(in.site(site).Outages, nil, at)
 }
 
 // NextUp returns the earliest t >= at at which the site is fully usable
-// (MSS and link both up).
+// (MSS and link both up). +Inf is the same never-up sentinel as SiteNextUp's.
 func (in *Injector) NextUp(site int, at float64) float64 {
 	sf := in.site(site)
 	return nextClear(sf.Outages, sf.LinkDown, at)
+}
+
+// DownWithin reports whether the site is (or is scheduled to become)
+// unusable — MSS outage or link down — at any point of [from, from+horizon).
+// The replica re-planner's emergency trigger: a file whose every live source
+// satisfies DownWithin is copied out before the lights go off.
+func (in *Injector) DownWithin(site int, from, horizon float64) bool {
+	if horizon <= 0 {
+		return !in.Up(site, from)
+	}
+	end := from + horizon
+	sf := in.site(site)
+	for _, w := range sf.Outages {
+		if w.End > from && w.Start < end {
+			return true
+		}
+	}
+	for _, w := range sf.LinkDown {
+		if w.End > from && w.Start < end {
+			return true
+		}
+	}
+	return false
+}
+
+// UnusableWindows returns the site's merged, sorted schedule of unusable
+// intervals (MSS outages and link-down windows coalesced, overlaps and
+// abutments joined). The recovery tracker keys per-outage records off these.
+func (in *Injector) UnusableWindows(site int) []Window {
+	sf := in.site(site)
+	windows := make([]Window, 0, len(sf.Outages)+len(sf.LinkDown))
+	windows = append(windows, sf.Outages...)
+	windows = append(windows, sf.LinkDown...)
+	if len(windows) == 0 {
+		return nil
+	}
+	sort.Slice(windows, func(i, j int) bool {
+		if windows[i].Start != windows[j].Start { //fbvet:allow floateq — schedule endpoints are exact config values, not derived floats
+			return windows[i].Start < windows[j].Start
+		}
+		return windows[i].End < windows[j].End
+	})
+	merged := windows[:1]
+	for _, w := range windows[1:] {
+		last := &merged[len(merged)-1]
+		if w.Start <= last.End {
+			if w.End > last.End {
+				last.End = w.End
+			}
+			continue
+		}
+		merged = append(merged, w)
+	}
+	out := make([]Window, len(merged))
+	copy(out, merged)
+	return out
 }
 
 // nextClear advances t out of every window in both schedules. Each pass

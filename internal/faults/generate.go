@@ -1,0 +1,215 @@
+package faults
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// Scenario generators: deterministic, seeded schedules for the three outage
+// shapes the degraded-mode studies need beyond hand-written windows —
+// correlated rack-group failures, site churn (join/leave cycles), and
+// diurnal brownouts. Each generator owns a rand.Rand seeded from its config
+// and draws nothing when its rate parameter is zero, so a zero-rate
+// generator yields an empty schedule and the resulting Scenario stays
+// bit-identical to the fault-free run. Generated schedules always pass
+// Scenario.Validate.
+
+// CorrelatedConfig drives GenCorrelated.
+type CorrelatedConfig struct {
+	// Seed drives the window draws.
+	Seed int64
+	// Groups are the rack groups: sites in one group share every outage
+	// window drawn for it (a rack switch or PDU failing takes them all down).
+	Groups [][]int
+	// OutagesPerGroup is how many outage windows each group suffers over the
+	// horizon. 0 yields an empty schedule.
+	OutagesPerGroup int
+	// MeanOutageSec is the mean outage duration (exponential, min 1s).
+	MeanOutageSec float64
+	// HorizonSec bounds window start times.
+	HorizonSec float64
+}
+
+// GenCorrelated draws rack-group failure schedules: each group gets
+// OutagesPerGroup windows whose starts are uniform over the horizon and
+// whose durations are exponential with mean MeanOutageSec; every site in the
+// group shares the group's windows. Windows are sorted by start per site.
+func GenCorrelated(cfg CorrelatedConfig) map[int]SiteFaults {
+	out := make(map[int]SiteFaults)
+	if cfg.OutagesPerGroup <= 0 || cfg.HorizonSec <= 0 || len(cfg.Groups) == 0 {
+		return out
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for _, group := range cfg.Groups {
+		windows := make([]Window, 0, cfg.OutagesPerGroup)
+		for i := 0; i < cfg.OutagesPerGroup; i++ {
+			start := rng.Float64() * cfg.HorizonSec
+			dur := rng.ExpFloat64() * cfg.MeanOutageSec
+			if dur < 1 {
+				dur = 1
+			}
+			windows = append(windows, Window{Start: start, End: start + dur})
+		}
+		sortWindows(windows)
+		for _, site := range group {
+			sf := out[site]
+			sf.Outages = append(sf.Outages, windows...)
+			sortWindows(sf.Outages)
+			out[site] = sf
+		}
+	}
+	return out
+}
+
+// ChurnConfig drives GenChurn.
+type ChurnConfig struct {
+	// Seed drives the cycle draws.
+	Seed int64
+	// Sites are the churning sites, each with its own independent cycle.
+	Sites []int
+	// MeanUpSec and MeanDownSec are the mean lengths of the alternating
+	// up/down phases (exponential, min 1s). MeanDownSec <= 0 yields an empty
+	// schedule — churn off.
+	MeanUpSec, MeanDownSec float64
+	// HorizonSec bounds the schedule.
+	HorizonSec float64
+}
+
+// GenChurn draws site join/leave cycles: each site alternates an
+// exponentially-distributed up phase with a down phase (modelled as an MSS
+// outage window), from time 0 to the horizon — transient grid membership,
+// the "site churn" half of ROADMAP item 4. Sites are processed in the order
+// given; each consumes its draws from the shared seeded stream.
+func GenChurn(cfg ChurnConfig) map[int]SiteFaults {
+	out := make(map[int]SiteFaults)
+	if cfg.MeanDownSec <= 0 || cfg.HorizonSec <= 0 || len(cfg.Sites) == 0 {
+		return out
+	}
+	up := cfg.MeanUpSec
+	if up <= 0 {
+		up = cfg.MeanDownSec
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for _, site := range cfg.Sites {
+		var windows []Window
+		t := rng.ExpFloat64() * up // first up phase
+		for t < cfg.HorizonSec {
+			down := rng.ExpFloat64() * cfg.MeanDownSec
+			if down < 1 {
+				down = 1
+			}
+			windows = append(windows, Window{Start: t, End: t + down})
+			t += down
+			t += rng.ExpFloat64() * up
+		}
+		sf := out[site]
+		sf.Outages = append(sf.Outages, windows...)
+		out[site] = sf
+	}
+	return out
+}
+
+// DiurnalConfig drives GenDiurnal.
+type DiurnalConfig struct {
+	// Seed drives the per-site phase offsets (sites in different time zones
+	// peak at different times). 0 is a valid seed.
+	Seed int64
+	// Sites are the affected sites.
+	Sites []int
+	// PeriodSec is the cycle length (a simulated "day"). <= 0 yields an
+	// empty schedule.
+	PeriodSec float64
+	// BusyFrac is the browned-out fraction of each period (0,1]; <= 0 yields
+	// an empty schedule.
+	BusyFrac float64
+	// Factor is the transfer slowdown during the busy phase (>= 1).
+	Factor float64
+	// HorizonSec bounds the schedule.
+	HorizonSec float64
+	// PhaseJitter, when true, offsets each site's cycle by a seeded random
+	// fraction of the period; otherwise all sites peak together.
+	PhaseJitter bool
+}
+
+// GenDiurnal lays down periodic bandwidth brownouts: every PeriodSec, each
+// site's transfers slow by Factor for BusyFrac of the period — the daily
+// load peak of a shared WAN. Deterministic given the config; the only
+// randomness is the optional per-site phase offset.
+func GenDiurnal(cfg DiurnalConfig) map[int]SiteFaults {
+	out := make(map[int]SiteFaults)
+	if cfg.PeriodSec <= 0 || cfg.BusyFrac <= 0 || cfg.HorizonSec <= 0 || len(cfg.Sites) == 0 {
+		return out
+	}
+	factor := cfg.Factor
+	if factor < 1 {
+		factor = 1
+	}
+	busy := cfg.BusyFrac
+	if busy > 1 {
+		busy = 1
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for _, site := range cfg.Sites {
+		phase := 0.0
+		if cfg.PhaseJitter {
+			phase = rng.Float64() * cfg.PeriodSec
+		}
+		var brownouts []Brownout
+		for start := phase; start < cfg.HorizonSec; start += cfg.PeriodSec {
+			brownouts = append(brownouts, Brownout{
+				Window: Window{Start: start, End: start + busy*cfg.PeriodSec},
+				Factor: factor,
+			})
+		}
+		sf := out[site]
+		sf.Brownouts = append(sf.Brownouts, brownouts...)
+		out[site] = sf
+	}
+	return out
+}
+
+// MergeSites overlays src's schedules onto dst (appending windows site by
+// site, keeping each list sorted by start) and returns dst, allocating it if
+// nil. Compose generators with hand-written schedules:
+//
+//	sc.Sites = faults.MergeSites(faults.GenChurn(churn), faults.GenCorrelated(racks))
+func MergeSites(dst, src map[int]SiteFaults) map[int]SiteFaults {
+	if dst == nil {
+		dst = make(map[int]SiteFaults)
+	}
+	sites := make([]int, 0, len(src))
+	for site := range src {
+		sites = append(sites, site)
+	}
+	sort.Ints(sites)
+	for _, site := range sites {
+		sf := src[site]
+		have := dst[site]
+		have.Outages = append(have.Outages, sf.Outages...)
+		have.LinkDown = append(have.LinkDown, sf.LinkDown...)
+		have.Brownouts = append(have.Brownouts, sf.Brownouts...)
+		sortWindows(have.Outages)
+		sortWindows(have.LinkDown)
+		sortBrownouts(have.Brownouts)
+		dst[site] = have
+	}
+	return dst
+}
+
+func sortBrownouts(bs []Brownout) {
+	sort.Slice(bs, func(i, j int) bool {
+		if bs[i].Start != bs[j].Start { //fbvet:allow floateq — schedule endpoints are exact config values
+			return bs[i].Start < bs[j].Start
+		}
+		return bs[i].End < bs[j].End
+	})
+}
+
+func sortWindows(ws []Window) {
+	sort.Slice(ws, func(i, j int) bool {
+		if ws[i].Start != ws[j].Start { //fbvet:allow floateq — schedule endpoints are exact config values
+			return ws[i].Start < ws[j].Start
+		}
+		return ws[i].End < ws[j].End
+	})
+}

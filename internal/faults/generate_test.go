@@ -1,0 +1,284 @@
+package faults
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+// scenarioFrom wraps generated schedules into a Scenario and asserts it
+// validates — every generator's contract.
+func scenarioFrom(t *testing.T, sites map[int]SiteFaults) Scenario {
+	t.Helper()
+	sc := Scenario{Sites: sites}
+	if err := sc.Validate(); err != nil {
+		t.Fatalf("generated scenario fails Validate: %v", err)
+	}
+	return sc
+}
+
+func TestGenCorrelatedDeterministicAndShared(t *testing.T) {
+	cfg := CorrelatedConfig{
+		Seed:            7,
+		Groups:          [][]int{{1, 2}, {3}},
+		OutagesPerGroup: 3,
+		MeanOutageSec:   50,
+		HorizonSec:      1000,
+	}
+	a := GenCorrelated(cfg)
+	b := GenCorrelated(cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed, different schedules")
+	}
+	scenarioFrom(t, a)
+	// Sites in one rack group share every window — that is what "correlated"
+	// means here.
+	if !reflect.DeepEqual(a[1].Outages, a[2].Outages) {
+		t.Errorf("group members differ: %v vs %v", a[1].Outages, a[2].Outages)
+	}
+	if len(a[3].Outages) != 3 {
+		t.Errorf("site 3 outages = %d, want 3", len(a[3].Outages))
+	}
+	// Groups draw independently: site 3's windows differ from the group's.
+	if reflect.DeepEqual(a[1].Outages, a[3].Outages) {
+		t.Error("independent groups drew identical windows")
+	}
+	for site, sf := range map[int]SiteFaults{1: a[1], 3: a[3]} {
+		for i, w := range sf.Outages {
+			if w.End-w.Start < 1 {
+				t.Errorf("site %d window %d shorter than the 1s floor: %+v", site, i, w)
+			}
+			if i > 0 && sf.Outages[i-1].Start > w.Start {
+				t.Errorf("site %d windows unsorted", site)
+			}
+		}
+	}
+
+	// Different seed, different schedule.
+	cfg.Seed = 8
+	if reflect.DeepEqual(a, GenCorrelated(cfg)) {
+		t.Error("different seeds drew identical schedules")
+	}
+}
+
+func TestGenCorrelatedZeroRateEmpty(t *testing.T) {
+	for name, cfg := range map[string]CorrelatedConfig{
+		"no outages": {Seed: 1, Groups: [][]int{{0}}, HorizonSec: 100},
+		"no horizon": {Seed: 1, Groups: [][]int{{0}}, OutagesPerGroup: 2},
+		"no groups":  {Seed: 1, OutagesPerGroup: 2, HorizonSec: 100},
+	} {
+		if got := GenCorrelated(cfg); len(got) != 0 {
+			t.Errorf("%s: schedule = %v, want empty", name, got)
+		}
+	}
+}
+
+func TestGenChurnCyclesWithinHorizon(t *testing.T) {
+	cfg := ChurnConfig{
+		Seed: 11, Sites: []int{0, 2},
+		MeanUpSec: 100, MeanDownSec: 30, HorizonSec: 2000,
+	}
+	a := GenChurn(cfg)
+	if !reflect.DeepEqual(a, GenChurn(cfg)) {
+		t.Fatal("same seed, different schedules")
+	}
+	scenarioFrom(t, a)
+	for _, site := range cfg.Sites {
+		ws := a[site].Outages
+		if len(ws) == 0 {
+			t.Fatalf("site %d never churned over a 20-cycle horizon", site)
+		}
+		for i, w := range ws {
+			if w.Start >= cfg.HorizonSec {
+				t.Errorf("site %d window starts past horizon: %+v", site, w)
+			}
+			if w.End-w.Start < 1 {
+				t.Errorf("site %d down phase under the 1s floor: %+v", site, w)
+			}
+			// Cycles alternate: windows are disjoint and strictly ordered.
+			if i > 0 && ws[i-1].End > w.Start {
+				t.Errorf("site %d down phases overlap: %+v then %+v", site, ws[i-1], w)
+			}
+		}
+	}
+	// Churn off -> empty schedule (bit-identity hook).
+	cfg.MeanDownSec = 0
+	if got := GenChurn(cfg); len(got) != 0 {
+		t.Errorf("zero-rate churn = %v, want empty", got)
+	}
+}
+
+func TestGenDiurnalPeriodicBrownouts(t *testing.T) {
+	cfg := DiurnalConfig{
+		Sites: []int{0}, PeriodSec: 100, BusyFrac: 0.25, Factor: 3, HorizonSec: 350,
+	}
+	a := GenDiurnal(cfg)
+	scenarioFrom(t, a)
+	bs := a[0].Brownouts
+	want := []Brownout{
+		{Window: Window{Start: 0, End: 25}, Factor: 3},
+		{Window: Window{Start: 100, End: 125}, Factor: 3},
+		{Window: Window{Start: 200, End: 225}, Factor: 3},
+		{Window: Window{Start: 300, End: 325}, Factor: 3},
+	}
+	if !reflect.DeepEqual(bs, want) {
+		t.Errorf("brownouts = %+v, want %+v", bs, want)
+	}
+
+	// Phase jitter shifts cycles but keeps the schedule valid and seeded.
+	cfg.Seed, cfg.PhaseJitter = 5, true
+	j := GenDiurnal(cfg)
+	if !reflect.DeepEqual(j, GenDiurnal(cfg)) {
+		t.Fatal("same seed, different jittered schedules")
+	}
+	scenarioFrom(t, j)
+	if j[0].Brownouts[0].Start <= 0 {
+		t.Errorf("jittered phase = %v, want > 0 for this seed", j[0].Brownouts[0].Start)
+	}
+
+	// A factor under 1 is clamped up, never invalid.
+	cfg.Factor = 0.5
+	scenarioFrom(t, GenDiurnal(cfg))
+
+	// Period off -> empty.
+	cfg.PeriodSec = 0
+	if got := GenDiurnal(cfg); len(got) != 0 {
+		t.Errorf("zero-period diurnal = %v, want empty", got)
+	}
+}
+
+func TestMergeSitesComposes(t *testing.T) {
+	churn := map[int]SiteFaults{
+		1: {Outages: []Window{{Start: 50, End: 60}}},
+	}
+	racks := map[int]SiteFaults{
+		1: {Outages: []Window{{Start: 10, End: 20}}, LinkDown: []Window{{Start: 5, End: 7}}},
+		2: {Brownouts: []Brownout{{Window: Window{Start: 0, End: 9}, Factor: 2}}},
+	}
+	got := MergeSites(churn, racks)
+	if len(got) != 2 {
+		t.Fatalf("merged sites = %d, want 2", len(got))
+	}
+	// Site 1's outages from both inputs, sorted by start.
+	wantOut := []Window{{Start: 10, End: 20}, {Start: 50, End: 60}}
+	if !reflect.DeepEqual(got[1].Outages, wantOut) {
+		t.Errorf("site 1 outages = %v, want %v", got[1].Outages, wantOut)
+	}
+	if len(got[1].LinkDown) != 1 || len(got[2].Brownouts) != 1 {
+		t.Errorf("merged = %+v", got)
+	}
+	// Nil dst allocates.
+	if m := MergeSites(nil, racks); len(m) != 2 {
+		t.Errorf("nil-dst merge = %+v", m)
+	}
+	scenarioFrom(t, got)
+}
+
+// --- Window / nextClear / NextUp edge cases (satellite: schedule corner cases).
+
+func TestNextUpOverlappingAndAbuttingWindows(t *testing.T) {
+	in, err := NewInjector(Scenario{Sites: map[int]SiteFaults{
+		0: {
+			// Overlapping outages [10,30) and [20,50); an abutting link-down
+			// [50,60) extends the dark span without a gap.
+			Outages:  []Window{{Start: 10, End: 30}, {Start: 20, End: 50}},
+			LinkDown: []Window{{Start: 50, End: 60}},
+		},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// nextClear must chase through the chain regardless of which window t
+	// lands in first.
+	for _, at := range []float64{10, 15, 25, 49, 50, 59} {
+		if up := in.NextUp(0, at); up != 60 {
+			t.Errorf("NextUp(%v) = %v, want 60 across the merged chain", at, up)
+		}
+	}
+	if up := in.NextUp(0, 60); up != 60 {
+		t.Errorf("NextUp at the boundary = %v, want 60 (half-open windows)", up)
+	}
+	if up := in.NextUp(0, 5); up != 5 {
+		t.Errorf("NextUp before the chain = %v, want 5", up)
+	}
+	// SiteNextUp only consults MSS outages: link-down alone does not hold it.
+	if up := in.SiteNextUp(0, 55); up != 55 {
+		t.Errorf("SiteNextUp inside link-down = %v, want 55", up)
+	}
+
+	// The merged unusable view joins all three into one interval.
+	want := []Window{{Start: 10, End: 60}}
+	if got := in.UnusableWindows(0); !reflect.DeepEqual(got, want) {
+		t.Errorf("UnusableWindows = %v, want %v", got, want)
+	}
+}
+
+func TestNextUpNeverUpSentinel(t *testing.T) {
+	// End = +Inf models a site that left the grid for good: NextUp must
+	// return the +Inf sentinel, not a schedulable instant.
+	in, err := NewInjector(Scenario{Sites: map[int]SiteFaults{
+		3: {Outages: []Window{{Start: 100, End: math.Inf(1)}}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if up := in.NextUp(3, 150); !math.IsInf(up, 1) {
+		t.Errorf("NextUp inside a terminal outage = %v, want +Inf", up)
+	}
+	if up := in.NextUp(3, 50); up != 50 {
+		t.Errorf("NextUp before the terminal outage = %v, want 50", up)
+	}
+	if !in.Up(3, 50) || in.Up(3, 1e12) {
+		t.Error("Up disagrees with the terminal window")
+	}
+	// The infinite window flows through the merged schedule too.
+	if ws := in.UnusableWindows(3); len(ws) != 1 || !math.IsInf(ws[0].End, 1) {
+		t.Errorf("UnusableWindows = %v, want one terminal window", ws)
+	}
+}
+
+func TestDowntimeClippedAtHorizon(t *testing.T) {
+	in, err := NewInjector(Scenario{Sites: map[int]SiteFaults{
+		0: {Outages: []Window{{Start: -10, End: 5}, {Start: 90, End: 200}}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// [-10,5) clips to [0,5) = 5s; [90,200) clips to [90,100) = 10s.
+	if d := in.DowntimeSeconds(0, 100); d != 15 {
+		t.Errorf("clipped downtime = %v, want 15", d)
+	}
+	if d := in.DowntimeSeconds(0, 0); d != 0 {
+		t.Errorf("zero-horizon downtime = %v", d)
+	}
+}
+
+func TestDownWithin(t *testing.T) {
+	in, err := NewInjector(Scenario{Sites: map[int]SiteFaults{
+		1: {Outages: []Window{{Start: 100, End: 150}}},
+		2: {LinkDown: []Window{{Start: 40, End: 60}}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		site          int
+		from, horizon float64
+		want          bool
+	}{
+		{1, 0, 50, false},                                          // horizon ends at 50, outage starts at 100
+		{1, 0, 150, true},                                          // lookahead reaches into the outage
+		{1, 60, 41, true},                                          // [60,101) clips the outage's first second
+		{1, 60, 40, false},                                         // [60,100) stops just short (half-open)
+		{1, 120, 10, true},                                         // already inside the outage
+		{1, 150, 1000, false} /* outage over */, {2, 30, 15, true}, // link-down counts as down
+		{2, 45, 0, true},  // zero horizon degrades to !Up(from)
+		{2, 65, 0, false}, // after the window, zero horizon, up
+	}
+	for _, c := range cases {
+		if got := in.DownWithin(c.site, c.from, c.horizon); got != c.want {
+			t.Errorf("DownWithin(site=%d, from=%v, horizon=%v) = %v, want %v",
+				c.site, c.from, c.horizon, got, c.want)
+		}
+	}
+}

@@ -134,6 +134,27 @@ func (r *Replicas) Add(f bundle.FileID, s SiteID) {
 	r.locs[f] = append(r.locs[f], s)
 }
 
+// Remove deregisters the replica of f at site s, reporting whether it was
+// present. A file whose last replica is removed leaves the catalog entirely.
+// The replica re-planner uses this to retire cold local copies; callers are
+// responsible for never dropping the only copy of a file they still need.
+func (r *Replicas) Remove(f bundle.FileID, s SiteID) bool {
+	locs := r.locs[f]
+	for i, have := range locs {
+		if have != s {
+			continue
+		}
+		locs = append(locs[:i], locs[i+1:]...)
+		if len(locs) == 0 {
+			delete(r.locs, f)
+		} else {
+			r.locs[f] = locs
+		}
+		return true
+	}
+	return false
+}
+
 // Sites returns the sites holding f (nil if unknown). The slice is a copy;
 // mutating it cannot corrupt the catalog.
 func (r *Replicas) Sites(f bundle.FileID) []SiteID {

@@ -65,6 +65,9 @@ func (s *JSONLSink) Stage(e StageEvent) { s.emit("stage", e) }
 // JobServed implements Tracer.
 func (s *JSONLSink) JobServed(e JobServedEvent) { s.emit("job_served", e) }
 
+// ReplicaPlan implements Tracer.
+func (s *JSONLSink) ReplicaPlan(e ReplicaPlanEvent) { s.emit("replica_plan", e) }
+
 // RingSink keeps the most recent capacity events in memory — a flight
 // recorder for tests and post-mortem inspection. Safe for concurrent use.
 //
@@ -187,6 +190,9 @@ func (r *RingSink) Stage(e StageEvent) { r.push(e) }
 // JobServed implements Tracer.
 func (r *RingSink) JobServed(e JobServedEvent) { r.push(e) }
 
+// ReplicaPlan implements Tracer.
+func (r *RingSink) ReplicaPlan(e ReplicaPlanEvent) { r.push(e) }
+
 // TraceStats aggregates event counts and headline byte totals.
 type TraceStats struct {
 	Admits       int64 `json:"admits"`
@@ -201,8 +207,12 @@ type TraceStats struct {
 	Failovers    int64 `json:"failovers"`
 	StageDones   int64 `json:"stage_dones"`
 	JobsServed   int64 `json:"jobs_served"`
+	ReplicaPlans int64 `json:"replica_plans"`
 	BytesLoaded  int64 `json:"bytes_loaded"`
 	BytesEvicted int64 `json:"bytes_evicted"`
+	// BytesReplicated sums ReplicaPlanEvent.Bytes — the re-replication
+	// traffic the adaptive planner moved.
+	BytesReplicated int64 `json:"bytes_replicated"`
 }
 
 // StatsSink counts events without retaining them — the cheapest way to
@@ -288,6 +298,14 @@ func (s *StatsSink) JobServed(JobServedEvent) {
 	s.st.JobsServed++
 }
 
+// ReplicaPlan implements Tracer.
+func (s *StatsSink) ReplicaPlan(e ReplicaPlanEvent) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.st.ReplicaPlans++
+	s.st.BytesReplicated += e.Bytes
+}
+
 // MultiTracer fans every event out to each tracer in order.
 type MultiTracer []Tracer
 
@@ -337,5 +355,12 @@ func (m MultiTracer) Stage(e StageEvent) {
 func (m MultiTracer) JobServed(e JobServedEvent) {
 	for _, t := range m {
 		t.JobServed(e)
+	}
+}
+
+// ReplicaPlan implements Tracer.
+func (m MultiTracer) ReplicaPlan(e ReplicaPlanEvent) {
+	for _, t := range m {
+		t.ReplicaPlan(e)
 	}
 }

@@ -148,6 +148,28 @@ type JobServedEvent struct {
 	BytesLoaded    int64   `json:"bytes_loaded"`
 }
 
+// ReplicaPlanEvent is emitted by the event-driven simulator once per
+// replication epoch: the adaptive planner re-ran against the current replica
+// catalog and fault state (see internal/replicate.Planner.Replan). Counts
+// summarize the epoch; per-action detail stays in the simulator's stats so
+// the trace line has bounded size.
+type ReplicaPlanEvent struct {
+	At float64 `json:"at"`
+	// Epoch is the 1-based re-plan ordinal within the run.
+	Epoch int `json:"epoch"`
+	// Actions is how many replications the epoch committed, of which
+	// Emergency were planned to outrun a scheduled outage.
+	Actions   int   `json:"actions"`
+	Emergency int   `json:"emergency,omitempty"`
+	Bytes     int64 `json:"bytes"`
+	// Retired is how many cold planner-installed replicas were removed to
+	// reclaim budget.
+	Retired      int   `json:"retired,omitempty"`
+	RetiredBytes int64 `json:"retired_bytes,omitempty"`
+	// Unreachable is how many hot files had no live source this epoch.
+	Unreachable int `json:"unreachable,omitempty"`
+}
+
 // Tracer receives typed events from the simulator core, the policies, the
 // cache and the event engine. Implementations must be cheap: hot loops call
 // these methods synchronously. Emit sites hold a concrete tracer behind a nil
@@ -161,6 +183,7 @@ type Tracer interface {
 	CreditDecay(e CreditDecayEvent)
 	Stage(e StageEvent)
 	JobServed(e JobServedEvent)
+	ReplicaPlan(e ReplicaPlanEvent)
 }
 
 // NopTracer discards every event. Useful as an explicit stand-in where a
@@ -188,3 +211,6 @@ func (NopTracer) Stage(StageEvent) {}
 
 // JobServed implements Tracer.
 func (NopTracer) JobServed(JobServedEvent) {}
+
+// ReplicaPlan implements Tracer.
+func (NopTracer) ReplicaPlan(ReplicaPlanEvent) {}

@@ -34,10 +34,11 @@ const (
 	KindCreditDecay = "credit_decay"
 	KindStage       = "stage"
 	KindJobServed   = "job_served"
+	KindReplicaPlan = "replica_plan"
 )
 
 // Event is one decoded trace line: the kind discriminator plus the typed
-// payload — one of the seven obs event structs, held by value.
+// payload — one of the eight obs event structs, held by value.
 type Event struct {
 	Kind string
 	Ev   any
@@ -73,10 +74,11 @@ var decoders = map[string]func(json.RawMessage) (any, error){
 	KindCreditDecay: decodeAs[obs.CreditDecayEvent],
 	KindStage:       decodeAs[obs.StageEvent],
 	KindJobServed:   decodeAs[obs.JobServedEvent],
+	KindReplicaPlan: decodeAs[obs.ReplicaPlanEvent],
 }
 
 // KindOf reports the kind discriminator for a typed event payload, and
-// whether ev is one of the seven trace event types.
+// whether ev is one of the eight trace event types.
 func KindOf(ev any) (string, bool) {
 	switch ev.(type) {
 	case obs.AdmitEvent:
@@ -93,6 +95,8 @@ func KindOf(ev any) (string, bool) {
 		return KindStage, true
 	case obs.JobServedEvent:
 		return KindJobServed, true
+	case obs.ReplicaPlanEvent:
+		return KindReplicaPlan, true
 	}
 	return "", false
 }
@@ -217,6 +221,8 @@ func Dispatch(t obs.Tracer, e Event) error {
 		t.Stage(ev)
 	case obs.JobServedEvent:
 		t.JobServed(ev)
+	case obs.ReplicaPlanEvent:
+		t.ReplicaPlan(ev)
 	default:
 		return fmt.Errorf("traceio: cannot dispatch payload of type %T", e.Ev)
 	}

@@ -1,0 +1,159 @@
+package replicate
+
+import (
+	"math"
+	"sort"
+
+	"fbcache/internal/bundle"
+)
+
+// Associations is the optional co-occurrence model the predictor can use to
+// sharpen heat: files strongly associated with a requested file gain a
+// fraction of its observed value even before they are requested themselves.
+// *prefetch.Model satisfies it.
+type Associations interface {
+	// Related returns up to k files associated with f at confidence >=
+	// minConfidence, strongest first, deterministically ordered.
+	Related(f bundle.FileID, k int, minConfidence float64) []bundle.FileID
+	// Confidence reports P(g requested | f requested) as observed.
+	Confidence(f, g bundle.FileID) float64
+}
+
+// PredictorConfig tunes the online heat estimator.
+type PredictorConfig struct {
+	// HalfLifeSec is the EWMA half-life: a file's heat halves every
+	// HalfLifeSec seconds without an access. Must be positive (default 300).
+	HalfLifeSec float64
+	// Assoc, when non-nil, sharpens heat with co-occurrence predictions:
+	// observing a bundle also warms files associated with its members.
+	Assoc Associations
+	// AssocBoost scales the associated-file contribution: an associated file
+	// g gains AssocBoost·Confidence(f→g)·value heat per observation of f
+	// (default 0.5).
+	AssocBoost float64
+	// AssocFanOut bounds associated files warmed per observed file (default 2).
+	AssocFanOut int
+	// AssocMinConfidence is the association threshold (default 0.5).
+	AssocMinConfidence float64
+}
+
+func (c PredictorConfig) withDefaults() PredictorConfig {
+	if c.HalfLifeSec <= 0 {
+		c.HalfLifeSec = 300
+	}
+	if c.AssocBoost <= 0 {
+		c.AssocBoost = 0.5
+	}
+	if c.AssocFanOut <= 0 {
+		c.AssocFanOut = 2
+	}
+	if c.AssocMinConfidence <= 0 {
+		c.AssocMinConfidence = 0.5
+	}
+	return c
+}
+
+// FileHeat is one predictor reading: a file and its decayed heat.
+type FileHeat struct {
+	File bundle.FileID
+	Heat float64
+}
+
+type heatState struct {
+	heat float64 // value as of last
+	last float64 // sim-time of last fold
+}
+
+// Predictor estimates per-file request heat online with exponential decay:
+// heat(t) = Σ over observations v·2^-((t-t_obs)/halfLife). Unlike the raw
+// cumulative heat Plan derives from history, a burst of old popularity fades
+// within a few half-lives, so epoch re-planning tracks workload drift. Time
+// is simulation seconds (never the wall clock); all methods are
+// deterministic, so same-seed runs reproduce identical plans.
+//
+// Not safe for concurrent use; the discrete-event simulator is
+// single-goroutine.
+type Predictor struct {
+	cfg  PredictorConfig
+	heat map[bundle.FileID]heatState
+}
+
+// NewPredictor returns an empty predictor (defaults applied).
+func NewPredictor(cfg PredictorConfig) *Predictor {
+	return &Predictor{cfg: cfg.withDefaults(), heat: make(map[bundle.FileID]heatState)}
+}
+
+// decayTo folds s forward to time now. Observations arrive in nondecreasing
+// time order from the simulator; a reading earlier than the last fold (which
+// only a misuse could produce) leaves the value undecayed rather than
+// amplifying it.
+func (p *Predictor) decayTo(s heatState, now float64) heatState {
+	dt := now - s.last
+	if dt > 0 {
+		s.heat *= math.Exp2(-dt / p.cfg.HalfLifeSec)
+		s.last = now
+	}
+	return s
+}
+
+func (p *Predictor) add(now float64, f bundle.FileID, v float64) {
+	s := p.decayTo(p.heat[f], now)
+	s.heat += v
+	if s.last < now {
+		s.last = now
+	}
+	p.heat[f] = s
+}
+
+// Observe folds one request for b with weight value (1 for unweighted
+// requests) at sim-time now. With an association model configured, files
+// related to b's members are warmed by AssocBoost·confidence·value as well —
+// the "sharpening" that lets the planner replicate a file shortly before its
+// first direct request.
+func (p *Predictor) Observe(now float64, b bundle.Bundle, value float64) {
+	for _, f := range b {
+		p.add(now, f, value)
+	}
+	if p.cfg.Assoc == nil {
+		return
+	}
+	for _, f := range b {
+		for _, g := range p.cfg.Assoc.Related(f, p.cfg.AssocFanOut, p.cfg.AssocMinConfidence) {
+			p.add(now, g, p.cfg.AssocBoost*p.cfg.Assoc.Confidence(f, g)*value)
+		}
+	}
+}
+
+// Heat reports f's decayed heat as of now without mutating the predictor.
+func (p *Predictor) Heat(now float64, f bundle.FileID) float64 {
+	return p.decayTo(p.heat[f], now).heat
+}
+
+// Snapshot returns every tracked file's decayed heat as of now, sorted by
+// file ID — map order never leaks into plans.
+func (p *Predictor) Snapshot(now float64) []FileHeat {
+	out := make([]FileHeat, 0, len(p.heat))
+	for f, s := range p.heat {
+		out = append(out, FileHeat{File: f, Heat: p.decayTo(s, now).heat})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].File < out[j].File })
+	return out
+}
+
+// Prune drops files whose decayed heat fell below floor, bounding the
+// predictor's memory over long runs. Returns how many were dropped.
+func (p *Predictor) Prune(now float64, floor float64) int {
+	var drop []bundle.FileID
+	for f, s := range p.heat {
+		if p.decayTo(s, now).heat < floor {
+			drop = append(drop, f)
+		}
+	}
+	for _, f := range drop {
+		delete(p.heat, f)
+	}
+	return len(drop)
+}
+
+// Len reports the number of files currently tracked.
+func (p *Predictor) Len() int { return len(p.heat) }

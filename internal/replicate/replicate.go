@@ -4,9 +4,17 @@
 // site so that future staging is cheap — greedy by expected transfer-time
 // savings per replicated byte, under a replication-space budget.
 //
-// The planner is advisory: Plan returns actions, Apply commits them to the
-// replica catalog. Deployments would run it periodically off the SRM's
-// history.
+// Two planning modes are provided. Plan is the original offline pass over a
+// request history's cumulative heat. Planner runs the same greedy core
+// online: an EWMA Predictor replaces raw cumulative heat so popularity
+// drift shows up, each epoch re-plans against the current replica catalog
+// and fault state (down sites are skipped as sources), cold planner-installed
+// replicas are retired to reclaim budget, and files whose every live source
+// is about to go dark are emergency-replicated ahead of the outage.
+//
+// The planners are advisory: Plan returns actions, Apply commits them to
+// the replica catalog (Planner.Replan applies its own epoch directly).
+// Deployments would run them periodically off the SRM's history.
 package replicate
 
 import (
@@ -28,16 +36,30 @@ type Action struct {
 	// SavingsSec is the expected staging-time saving per future access.
 	SavingsSec float64
 	// Heat is the file's observed access weight (sum of request values of
-	// the history entries using it).
+	// the history entries using it, or the predictor's decayed heat).
 	Heat float64
+	// Emergency marks an action planned to outrun a scheduled outage rather
+	// than won on heat×savings density (see Planner.Replan).
+	Emergency bool
+}
+
+// Result is a computed replication plan plus its diagnostics.
+type Result struct {
+	// Actions is the planned copy list, densest-first.
+	Actions []Action
+	// Unreachable lists hot files that currently have no reachable replica,
+	// sorted by file ID. Mid-outage planning must degrade, not abort: such
+	// files are skipped and reported so the caller can decide — they become
+	// candidates again once a holder resurfaces.
+	Unreachable []bundle.FileID
 }
 
 // Plan computes a replication plan within `budget` bytes of local replica
 // space. Files already replicated locally are skipped; files without any
-// reachable replica are reported as an error (the catalog is inconsistent).
-func Plan(hist *history.History, topo *grid.Topology, reps *grid.Replicas, sizeOf bundle.SizeFunc, budget bundle.Size) ([]Action, error) {
+// reachable replica are skipped and reported in Result.Unreachable.
+func Plan(hist *history.History, topo *grid.Topology, reps *grid.Replicas, sizeOf bundle.SizeFunc, budget bundle.Size) (Result, error) {
 	if hist == nil || topo == nil || reps == nil || sizeOf == nil {
-		return nil, fmt.Errorf("replicate: nil input")
+		return Result{}, fmt.Errorf("replicate: nil input")
 	}
 	if budget < 0 {
 		budget = 0
@@ -51,16 +73,24 @@ func Plan(hist *history.History, topo *grid.Topology, reps *grid.Replicas, sizeO
 		}
 	}
 
+	var res Result
 	local := topo.Local()
+	files := make([]bundle.FileID, 0, len(heat))
+	for f := range heat {
+		files = append(files, f)
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i] < files[j] })
 	var candidates []Action
-	for f, h := range heat {
+	for _, f := range files {
+		h := heat[f]
 		size := sizeOf(f)
 		if hasLocal(reps, f, local) {
 			continue
 		}
 		src, cost, ok := reps.BestSource(topo, f, size)
 		if !ok {
-			return nil, fmt.Errorf("replicate: no reachable replica for file %d", f)
+			res.Unreachable = append(res.Unreachable, f)
+			continue
 		}
 		localCost := topo.TransferSeconds(local, size)
 		saving := cost - localCost
@@ -72,13 +102,26 @@ func Plan(hist *history.History, topo *grid.Topology, reps *grid.Replicas, sizeO
 			SavingsSec: saving, Heat: h,
 		})
 	}
+	sort.Slice(res.Unreachable, func(i, j int) bool { return res.Unreachable[i] < res.Unreachable[j] })
 
-	// Greedy: highest expected total saving per replicated byte first.
+	res.Actions = greedy(candidates, budget)
+	return res, nil
+}
+
+// greedy fills the byte budget densest-first. Ties on density go to the
+// larger Size first (equal per-byte efficiency, more absolute saving — and
+// zero-size files, whose density is +Inf, cannot starve large high-saving
+// candidates of their budget), then to the smaller FileID so the order is a
+// strict total one.
+func greedy(candidates []Action, budget bundle.Size) []Action {
 	sort.Slice(candidates, func(i, j int) bool {
 		di := density(candidates[i])
 		dj := density(candidates[j])
 		if !floats.AlmostEqual(di, dj) {
 			return di > dj
+		}
+		if candidates[i].Size != candidates[j].Size {
+			return candidates[i].Size > candidates[j].Size
 		}
 		return candidates[i].File < candidates[j].File
 	})
@@ -86,13 +129,16 @@ func Plan(hist *history.History, topo *grid.Topology, reps *grid.Replicas, sizeO
 	var plan []Action
 	var used bundle.Size
 	for _, a := range candidates {
+		if used == budget {
+			break // budget exactly consumed; no candidate can fit
+		}
 		if used+a.Size > budget {
 			continue
 		}
 		used += a.Size
 		plan = append(plan, a)
 	}
-	return plan, nil
+	return plan
 }
 
 // density is heat-weighted saving per byte; zero-size files rank first.

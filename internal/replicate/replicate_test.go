@@ -1,6 +1,7 @@
 package replicate
 
 import (
+	"reflect"
 	"testing"
 
 	"fbcache/internal/bundle"
@@ -48,10 +49,11 @@ func TestPlanPrefersHotFiles(t *testing.T) {
 	h.Observe(bundle.New(3))
 
 	// Budget for exactly one file.
-	plan, err := Plan(h, topo, reps, sizeConst(100*bundle.MB), 100*bundle.MB)
+	res, err := Plan(h, topo, reps, sizeConst(100*bundle.MB), 100*bundle.MB)
 	if err != nil {
 		t.Fatal(err)
 	}
+	plan := res.Actions
 	if len(plan) != 1 {
 		t.Fatalf("plan = %+v", plan)
 	}
@@ -67,20 +69,20 @@ func TestPlanRespectsBudget(t *testing.T) {
 	topo, reps := testGrid(t, []bundle.FileID{1, 2, 3, 4})
 	h := history.New(history.Config{})
 	h.Observe(bundle.New(1, 2, 3, 4))
-	plan, err := Plan(h, topo, reps, sizeConst(bundle.MB), 2*bundle.MB+bundle.MB/2)
+	res, err := Plan(h, topo, reps, sizeConst(bundle.MB), 2*bundle.MB+bundle.MB/2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(plan) != 2 {
-		t.Fatalf("plan length = %d, want 2 within 2.5MB budget", len(plan))
+	if len(res.Actions) != 2 {
+		t.Fatalf("plan length = %d, want 2 within 2.5MB budget", len(res.Actions))
 	}
-	if TotalBytes(plan) > 2*bundle.MB+bundle.MB/2 {
-		t.Errorf("plan overruns budget: %v", TotalBytes(plan))
+	if TotalBytes(res.Actions) > 2*bundle.MB+bundle.MB/2 {
+		t.Errorf("plan overruns budget: %v", TotalBytes(res.Actions))
 	}
 	// Zero budget -> empty plan.
-	plan, err = Plan(h, topo, reps, sizeConst(bundle.MB), 0)
-	if err != nil || len(plan) != 0 {
-		t.Errorf("zero budget plan = %v, %v", plan, err)
+	res, err = Plan(h, topo, reps, sizeConst(bundle.MB), 0)
+	if err != nil || len(res.Actions) != 0 {
+		t.Errorf("zero budget plan = %v, %v", res.Actions, err)
 	}
 }
 
@@ -91,21 +93,32 @@ func TestPlanSkipsAlreadyLocal(t *testing.T) {
 	for i := 0; i < 5; i++ {
 		h.Observe(bundle.New(1, 2))
 	}
-	plan, err := Plan(h, topo, reps, sizeConst(bundle.MB), 10*bundle.MB)
+	res, err := Plan(h, topo, reps, sizeConst(bundle.MB), 10*bundle.MB)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(plan) != 1 || plan[0].File != 2 {
-		t.Errorf("plan = %+v, want only f2", plan)
+	if len(res.Actions) != 1 || res.Actions[0].File != 2 {
+		t.Errorf("plan = %+v, want only f2", res.Actions)
 	}
 }
 
-func TestPlanErrorsOnMissingReplica(t *testing.T) {
+func TestPlanReportsUnreachable(t *testing.T) {
 	topo, reps := testGrid(t, []bundle.FileID{1})
 	h := history.New(history.Config{})
 	h.Observe(bundle.New(1, 9)) // f9 not in any catalog
-	if _, err := Plan(h, topo, reps, sizeConst(bundle.MB), bundle.MB); err == nil {
-		t.Error("missing replica accepted")
+	h.Observe(bundle.New(7))    // f7 also unknown
+	res, err := Plan(h, topo, reps, sizeConst(bundle.MB), 10*bundle.MB)
+	if err != nil {
+		t.Fatalf("missing replica must degrade, not abort: %v", err)
+	}
+	// The reachable hot file is still planned.
+	if len(res.Actions) != 1 || res.Actions[0].File != 1 {
+		t.Errorf("actions = %+v, want f1 planned despite unreachable peers", res.Actions)
+	}
+	// The unreachable files are reported, sorted.
+	want := []bundle.FileID{7, 9}
+	if !reflect.DeepEqual(res.Unreachable, want) {
+		t.Errorf("unreachable = %v, want %v", res.Unreachable, want)
 	}
 }
 
@@ -121,14 +134,14 @@ func TestApplyAndSavings(t *testing.T) {
 	for i := 0; i < 4; i++ {
 		h.Observe(bundle.New(1, 2))
 	}
-	plan, err := Plan(h, topo, reps, sizeConst(bundle.MB), 10*bundle.MB)
+	res, err := Plan(h, topo, reps, sizeConst(bundle.MB), 10*bundle.MB)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if TotalSavings(plan) <= 0 {
+	if TotalSavings(res.Actions) <= 0 {
 		t.Error("no savings reported")
 	}
-	Apply(plan, topo, reps)
+	Apply(res.Actions, topo, reps)
 	for _, f := range []bundle.FileID{1, 2} {
 		src, _, ok := reps.BestSource(topo, f, bundle.MB)
 		if !ok || src != topo.Local() {
@@ -136,17 +149,52 @@ func TestApplyAndSavings(t *testing.T) {
 		}
 	}
 	// Re-planning now yields nothing.
-	plan, err = Plan(h, topo, reps, sizeConst(bundle.MB), 10*bundle.MB)
-	if err != nil || len(plan) != 0 {
-		t.Errorf("second plan = %v, %v", plan, err)
+	res, err = Plan(h, topo, reps, sizeConst(bundle.MB), 10*bundle.MB)
+	if err != nil || len(res.Actions) != 0 {
+		t.Errorf("second plan = %v, %v", res.Actions, err)
 	}
 }
 
 func TestPlanEmptyHistory(t *testing.T) {
 	topo, reps := testGrid(t, []bundle.FileID{1})
 	h := history.New(history.Config{})
-	plan, err := Plan(h, topo, reps, sizeConst(bundle.MB), bundle.MB)
-	if err != nil || len(plan) != 0 {
-		t.Errorf("plan = %v, %v", plan, err)
+	res, err := Plan(h, topo, reps, sizeConst(bundle.MB), bundle.MB)
+	if err != nil || len(res.Actions) != 0 {
+		t.Errorf("plan = %v, %v", res.Actions, err)
+	}
+}
+
+// Regression for the greedy loop fixes: the scan stops once the budget is
+// exactly consumed, and equal-density ties prefer the larger Size so
+// zero-size files cannot starve large high-saving candidates.
+func TestGreedyBudgetStopAndSizeTieBreak(t *testing.T) {
+	// Two candidates with identical density (same heat, saving and size) and
+	// one with a distinct larger size at the same per-byte density.
+	mk := func(f bundle.FileID, size bundle.Size, heat, saving float64) Action {
+		return Action{File: f, Size: size, Heat: heat, SavingsSec: saving}
+	}
+	// density = heat*saving/size: a (2MB) and b (1MB) both at density 8.
+	a := mk(1, 2*bundle.MB, 4, float64(4*bundle.MB))
+	b := mk(2, bundle.MB, 4, float64(2*bundle.MB))
+	plan := greedy([]Action{b, a}, 2*bundle.MB)
+	if len(plan) != 1 || plan[0].File != 1 {
+		t.Errorf("equal density must prefer larger size first: %+v", plan)
+	}
+
+	// Exact-fit budget: once used == budget the scan must stop, not keep
+	// walking the tail (which an overrun candidate list would pollute).
+	c := mk(3, bundle.MB, 100, 1e6)
+	d := mk(4, bundle.MB, 1, 1e6)
+	plan = greedy([]Action{c, d}, bundle.MB)
+	if len(plan) != 1 || plan[0].File != 3 {
+		t.Errorf("exact-fit budget plan = %+v, want just f3", plan)
+	}
+
+	// Zero-size files rank first (density +Inf) but consume no budget, so
+	// the large candidate still lands.
+	z := mk(5, 0, 1, 1)
+	plan = greedy([]Action{d, z}, bundle.MB)
+	if len(plan) != 2 || plan[0].File != 5 || plan[1].File != 4 {
+		t.Errorf("zero-size + large plan = %+v", plan)
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"fbcache/internal/mss"
 	"fbcache/internal/obs"
 	"fbcache/internal/policy"
+	"fbcache/internal/replicate"
 	"fbcache/internal/stats"
 	"fbcache/internal/workload"
 )
@@ -46,10 +47,64 @@ type EventOptions struct {
 	// zero-valued scenario reproduces the fault-free simulation bit for
 	// bit; see internal/faults.
 	Faults *faults.Scenario
-	// Tracer, when non-nil, receives Stage (start/retry/failover/done) and
-	// JobServed events stamped with sim-time seconds. Policy- and cache-level
-	// events are installed separately via SetTracer on the policy.
+	// Tracer, when non-nil, receives Stage (start/retry/failover/done),
+	// JobServed and ReplicaPlan events stamped with sim-time seconds. Policy-
+	// and cache-level events are installed separately via SetTracer on the
+	// policy.
 	Tracer obs.Tracer
+	// Replication, when non-nil, arms the adaptive epoch re-planner
+	// (grid runs only): every EpochSec of sim-time the replica plan is
+	// recomputed against the current catalog and fault state — cold
+	// planner-installed replicas retire, down sites are skipped as sources,
+	// and files whose every live source is about to go dark are
+	// emergency-replicated ahead of the outage. See internal/replicate.
+	Replication *ReplicationConfig
+	// RecoveryWindowJobs and RecoveryEpsilon tune the per-outage recovery
+	// measurement armed alongside fault windows: the windowed hit ratio uses
+	// the last RecoveryWindowJobs completions (default 50), and recovery is
+	// declared when it returns within RecoveryEpsilon (default 0.02) of the
+	// pre-outage baseline. See metrics.RecoveryTracker.
+	RecoveryWindowJobs int
+	RecoveryEpsilon    float64
+}
+
+// ReplicationConfig tunes the adaptive replication subsystem of RunEvents.
+type ReplicationConfig struct {
+	// EpochSec is the re-planning interval in sim seconds (required > 0).
+	EpochSec float64
+	// Budget is the local replica space the planner may occupy (bytes). A
+	// zero budget runs the epochs without ever copying — useful to prove the
+	// machinery itself perturbs nothing.
+	Budget bundle.Size
+	// HalfLifeSec is the predictor's EWMA half-life (default 4×EpochSec).
+	HalfLifeSec float64
+	// RetireBelow retires a planner-installed replica whose decayed heat
+	// falls under it (<= 0 never retires).
+	RetireBelow float64
+	// RiskHorizonSec is the emergency-replication lookahead (default
+	// EpochSec): copy a file now when all its live sources go dark within it.
+	RiskHorizonSec float64
+	// Assoc, when non-nil, sharpens the predictor with co-occurrence
+	// predictions (e.g. *prefetch.Model).
+	Assoc replicate.Associations
+}
+
+// ReplicationStats summarizes the epoch re-planner's work over a run. All
+// zero unless EventOptions.Replication was set.
+type ReplicationStats struct {
+	// Epochs is how many re-plans ran.
+	Epochs int64
+	// Actions is the number of committed replications, of which Emergency
+	// were planned to outrun a scheduled outage.
+	Actions   int64
+	Emergency int64
+	// Bytes is the re-replication traffic moved to the local site.
+	Bytes bundle.Size
+	// Retired counts cold planner replicas removed, freeing RetiredBytes.
+	Retired      int64
+	RetiredBytes bundle.Size
+	// Unreachable counts hot files that had no live source at some epoch.
+	Unreachable int64
 }
 
 // GridConfig wires a topology and replica catalog into the simulation.
@@ -60,10 +115,13 @@ type GridConfig struct {
 
 // stageOutcome is one bundle's staging result: the finish time on success,
 // or the moment staging was abandoned (retries, failovers and budget
-// exhausted) on failure.
+// exhausted) on failure. remote records whether any file came from a
+// non-local site — the recovery tracker's "locally served" flag is its
+// negation.
 type stageOutcome struct {
-	at float64
-	ok bool
+	at     float64
+	ok     bool
+	remote bool
 }
 
 // stager models where miss traffic comes from and how long it takes.
@@ -178,6 +236,9 @@ var mssOnlySource = []int{0}
 func (s *mssStager) stage(now float64, job int, files bundle.Bundle, sizeOf bundle.SizeFunc) (stageOutcome, error) {
 	deadline := s.rs.deadline(now)
 	finish := now
+	// The single-MSS model has no local replica tier: any staging is a trip
+	// to the archive.
+	remote := len(files) > 0
 	for _, f := range files {
 		size := sizeOf(f)
 		at, ok := s.rs.stageFile(now, deadline, job, mssOnlySource, func(_ int, t float64) float64 {
@@ -187,13 +248,13 @@ func (s *mssStager) stage(now float64, job int, files bundle.Bundle, sizeOf bund
 			if at < finish {
 				at = finish
 			}
-			return stageOutcome{at: at}, nil
+			return stageOutcome{at: at, remote: remote}, nil
 		}
 		if at > finish {
 			finish = at
 		}
 	}
-	return stageOutcome{at: finish, ok: true}, nil
+	return stageOutcome{at: finish, ok: true, remote: remote}, nil
 }
 
 func (s *mssStager) utilization(h float64) float64 { return s.sys.Utilization(h) }
@@ -251,6 +312,8 @@ func newGridStager(cfg *GridConfig, rs *resilient, armed bool) (*gridStager, err
 func (g *gridStager) stage(now float64, job int, files bundle.Bundle, sizeOf bundle.SizeFunc) (stageOutcome, error) {
 	deadline := g.rs.deadline(now)
 	finish := now
+	remote := false
+	local := g.topo.Local()
 	for _, f := range files {
 		size := sizeOf(f)
 		ranked := g.reps.RankedSources(g.topo, f, size)
@@ -261,21 +324,28 @@ func (g *gridStager) stage(now float64, job int, files bundle.Bundle, sizeOf bun
 		for _, s := range ranked {
 			g.srcs = append(g.srcs, int(s.Site))
 		}
+		// fetched tracks the site of the last attempt; on success that is the
+		// source the file actually came from.
+		fetched := local
 		at, ok := g.rs.stageFile(now, deadline, job, g.srcs, func(k int, t float64) float64 {
 			site := ranked[k].Site
+			fetched = site
 			return g.sites[site].Fetch(t, size) + g.wanSeconds(site, size)
 		})
+		if fetched != local {
+			remote = true
+		}
 		if !ok {
 			if at < finish {
 				at = finish
 			}
-			return stageOutcome{at: at}, nil
+			return stageOutcome{at: at, remote: remote}, nil
 		}
 		if at > finish {
 			finish = at
 		}
 	}
-	return stageOutcome{at: finish, ok: true}, nil
+	return stageOutcome{at: finish, ok: true, remote: remote}, nil
 }
 
 func (g *gridStager) wanSeconds(from grid.SiteID, size bundle.Size) float64 {
@@ -324,6 +394,14 @@ type EventStats struct {
 	// over [0, Makespan]; nil unless the run was a grid run with faults
 	// armed.
 	SiteDowntime []float64
+	// Replication summarizes the adaptive epoch re-planner's work; all zero
+	// unless EventOptions.Replication was set.
+	Replication ReplicationStats
+	// Recoveries holds one per-outage recovery record (time for the windowed
+	// hit ratio to return to its pre-outage baseline; see
+	// metrics.RecoveryTracker). Nil unless faults with outage or link-down
+	// windows were armed.
+	Recoveries []metrics.Recovery
 }
 
 type eventKind int
@@ -332,6 +410,7 @@ const (
 	evArrival eventKind = iota
 	evCompletion
 	evFailed // a job's staging was abandoned; its slot frees and it requeues or fails
+	evReplan // periodic adaptive-replication epoch; job field unused
 )
 
 type event struct {
@@ -451,6 +530,27 @@ func RunEvents(w *workload.Workload, p policy.Policy, opts EventOptions) (EventS
 	}
 	rs := &resilient{inj: inj, budget: inj.Scenario().StageBudgetSec, tr: opts.Tracer}
 	armed := opts.Faults != nil
+
+	// Arm per-outage recovery measurement when the scenario schedules any
+	// unusable windows. A zero scenario has none, so fault-free runs carry
+	// nil Recoveries and stay bit-identical.
+	var recovery *metrics.RecoveryTracker
+	if armed {
+		siteIDs := make([]int, 0, len(inj.Scenario().Sites))
+		for s := range inj.Scenario().Sites {
+			siteIDs = append(siteIDs, s)
+		}
+		sort.Ints(siteIDs)
+		var outs []metrics.Outage
+		for _, s := range siteIDs {
+			for _, win := range inj.UnusableWindows(s) {
+				outs = append(outs, metrics.Outage{Site: s, Start: win.Start, End: win.End})
+			}
+		}
+		if len(outs) > 0 {
+			recovery = metrics.NewRecoveryTracker(outs, opts.RecoveryWindowJobs, opts.RecoveryEpsilon)
+		}
+	}
 	var archive stager
 	var gridArchive *gridStager
 	if opts.Grid != nil {
@@ -493,10 +593,14 @@ func RunEvents(w *workload.Workload, p policy.Policy, opts EventOptions) (EventS
 	type running struct {
 		bundleRef bundle.Bundle
 		arrival   float64
-		jobIdx    int     // index into jobs, for trace events
-		hit       bool    // request-hit on this (final) dispatch
-		staged    float64 // when the bundle was fully staged
-		loaded    bundle.Size
+		jobIdx    int  // index into jobs, for trace events
+		hit       bool // request-hit on this (final) dispatch
+		// localServe is the recovery tracker's health flag: the job was
+		// served from the cache or staged entirely from the local site —
+		// nothing crossed the WAN.
+		localServe bool
+		staged     float64 // when the bundle was fully staged
+		loaded     bundle.Size
 	}
 
 	var (
@@ -533,10 +637,48 @@ func RunEvents(w *workload.Workload, p policy.Policy, opts EventOptions) (EventS
 	maxJobAttempts := inj.Scenario().MaxJobAttempts
 
 	// All arrivals are known up front; one backing array sized for them plus
-	// the in-flight completions serves the whole run.
-	h.ev = make([]event, 0, len(jobs)+opts.Slots+1)
+	// the in-flight completions and the single pending replan epoch serves
+	// the whole run.
+	h.ev = make([]event, 0, len(jobs)+opts.Slots+2)
 	for i := range jobs {
 		h.push(event{at: arrivals[i], kind: evArrival, job: i})
+	}
+
+	// Adaptive replication: a predictor fed by arriving bundles and an epoch
+	// planner re-run against the live catalog and fault state. At most one
+	// replan event is pending at a time; it stops rescheduling once the rest
+	// of the queue drains, so the loop always terminates.
+	var (
+		pred      *replicate.Predictor
+		planner   *replicate.Planner
+		replStats ReplicationStats
+		epochN    int // trace-facing epoch ordinal; replStats.Epochs mirrors it
+	)
+	if rc := opts.Replication; rc != nil {
+		if opts.Grid == nil {
+			return EventStats{}, fmt.Errorf("simulate: Replication requires Grid")
+		}
+		if rc.EpochSec <= 0 {
+			return EventStats{}, fmt.Errorf("simulate: Replication.EpochSec must be positive")
+		}
+		halfLife := rc.HalfLifeSec
+		if halfLife <= 0 {
+			halfLife = 4 * rc.EpochSec
+		}
+		horizon := rc.RiskHorizonSec
+		if horizon <= 0 {
+			horizon = rc.EpochSec
+		}
+		pred = replicate.NewPredictor(replicate.PredictorConfig{
+			HalfLifeSec: halfLife, Assoc: rc.Assoc,
+		})
+		planner, err = replicate.NewPlanner(opts.Grid.Topology, opts.Grid.Replicas, sizeOf, pred, replicate.PlannerConfig{
+			Budget: rc.Budget, RetireBelow: rc.RetireBelow, RiskHorizonSec: horizon,
+		})
+		if err != nil {
+			return EventStats{}, err
+		}
+		h.push(event{at: rc.EpochSec, kind: evReplan})
 	}
 
 	dispatch := func(now float64) {
@@ -588,6 +730,7 @@ func RunEvents(w *workload.Workload, p policy.Policy, opts EventOptions) (EventS
 				delete(restage, j)
 			}
 			staged := now
+			localServe := true
 			if len(toStage) > 0 {
 				if opts.Tracer != nil {
 					opts.Tracer.Stage(obs.StageEvent{
@@ -614,6 +757,7 @@ func RunEvents(w *workload.Workload, p policy.Policy, opts EventOptions) (EventS
 					continue
 				}
 				staged = out.at
+				localServe = !out.remote
 				if opts.Tracer != nil {
 					opts.Tracer.Stage(obs.StageEvent{
 						At: staged, Phase: obs.StageDone, Job: j,
@@ -634,7 +778,8 @@ func RunEvents(w *workload.Workload, p policy.Policy, opts EventOptions) (EventS
 			nextHandle++
 			inFlight[handle] = running{
 				bundleRef: b, arrival: arrivals[j],
-				jobIdx: j, hit: res.Hit, staged: staged, loaded: res.BytesLoaded,
+				jobIdx: j, hit: res.Hit, localServe: localServe,
+				staged: staged, loaded: res.BytesLoaded,
 			}
 			h.push(event{at: done, kind: evCompletion, job: handle})
 		}
@@ -644,6 +789,9 @@ func RunEvents(w *workload.Workload, p policy.Policy, opts EventOptions) (EventS
 		e := h.pop()
 		switch e.kind {
 		case evArrival:
+			if pred != nil {
+				pred.Observe(e.at, w.Requests[jobs[e.job]], 1)
+			}
 			waiting = append(waiting, e.job)
 			dispatch(e.at)
 		case evCompletion:
@@ -666,6 +814,12 @@ func RunEvents(w *workload.Workload, p policy.Policy, opts EventOptions) (EventS
 				})
 			}
 			responses = append(responses, e.at-r.arrival)
+			if recovery != nil {
+				// The tracker's "hit" is the local-service flag: outages hurt
+				// by forcing (or stalling) WAN staging, and that is exactly
+				// what this ratio watches.
+				recovery.ObserveJob(e.at, r.localServe)
+			}
 			if e.at > lastDone {
 				lastDone = e.at
 			}
@@ -684,6 +838,32 @@ func RunEvents(w *workload.Workload, p policy.Policy, opts EventOptions) (EventS
 				}
 			}
 			dispatch(e.at)
+		case evReplan:
+			if h.len() == 0 {
+				// Everything else has drained: the run is over and a fresh
+				// plan has nothing left to serve. Not rescheduling here is
+				// what terminates the loop.
+				break
+			}
+			ep := planner.Replan(e.at, inj)
+			epochN++
+			replStats.Epochs++
+			replStats.Actions += int64(len(ep.Actions))
+			replStats.Emergency += int64(ep.Emergency)
+			replStats.Bytes += ep.PlannedBytes
+			replStats.Retired += int64(len(ep.Retired))
+			replStats.RetiredBytes += ep.RetiredBytes
+			replStats.Unreachable += int64(len(ep.Unreachable))
+			if opts.Tracer != nil {
+				opts.Tracer.ReplicaPlan(obs.ReplicaPlanEvent{
+					At: e.at, Epoch: epochN,
+					Actions: len(ep.Actions), Emergency: ep.Emergency,
+					Bytes:   int64(ep.PlannedBytes),
+					Retired: len(ep.Retired), RetiredBytes: int64(ep.RetiredBytes),
+					Unreachable: len(ep.Unreachable),
+				})
+			}
+			h.push(event{at: e.at + opts.Replication.EpochSec, kind: evReplan})
 		}
 	}
 
@@ -693,6 +873,10 @@ func RunEvents(w *workload.Workload, p policy.Policy, opts EventOptions) (EventS
 		BytesLoaded:       bytesMiss,
 		UnservedOversized: oversized,
 		Resilience:        rs.res,
+		Replication:       replStats,
+	}
+	if recovery != nil {
+		st.Recoveries = recovery.Finish()
 	}
 	if stageErr != nil {
 		return EventStats{}, stageErr

@@ -1,0 +1,182 @@
+package simulate
+
+import (
+	"reflect"
+	"testing"
+
+	"fbcache/internal/bundle"
+	"fbcache/internal/faults"
+	"fbcache/internal/workload"
+)
+
+// TestReplicationZeroBudgetBitIdentical is the tentpole's inertness gate:
+// arming the epoch re-planner with a zero budget over a zero fault scenario
+// must reproduce the plain fault-free run bit for bit — the machinery runs
+// every epoch but may not perturb staging, stats or RNG streams.
+func TestReplicationZeroBudgetBitIdentical(t *testing.T) {
+	w := smallWorkload(t, workload.Zipf, 300)
+	run := func(sc *faults.Scenario, repl *ReplicationConfig) EventStats {
+		p := optFactory()(w.Spec.CacheSize, w.Catalog.SizeFunc())
+		cfg := buildGrid(t, w, func(f bundle.FileID) bool { return f%2 == 0 })
+		st, err := RunEvents(w, p, EventOptions{
+			ArrivalRate: 3, Seed: 11, Grid: cfg, Faults: sc, Replication: repl,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+
+	plain := run(nil, nil)
+	armed := run(&faults.Scenario{}, &ReplicationConfig{
+		EpochSec: 10, Budget: 0, RetireBelow: 0.01, RiskHorizonSec: 30,
+	})
+
+	if armed.Replication.Epochs == 0 {
+		t.Fatal("replication armed but no epoch ever ran")
+	}
+	moved := armed.Replication
+	moved.Epochs = 0
+	if moved != (ReplicationStats{}) {
+		t.Errorf("zero-budget planner did work: %+v", armed.Replication)
+	}
+	if armed.Recoveries != nil {
+		t.Errorf("zero scenario produced recovery records: %+v", armed.Recoveries)
+	}
+	for i, d := range armed.SiteDowntime {
+		if d != 0 {
+			t.Errorf("zero scenario reported downtime at site %d: %v", i, d)
+		}
+	}
+	// The epoch counter and the armed-run downtime vector are the only
+	// permitted differences; everything the planner could have perturbed must
+	// match exactly.
+	armed.SiteDowntime = nil
+	armed.Replication = ReplicationStats{}
+	if !reflect.DeepEqual(plain, armed) {
+		t.Errorf("zero-budget replication run diverged:\n%+v\n%+v", plain, armed)
+	}
+}
+
+// TestAdaptiveReplicationBeatsStaticUnderOutage is the headline acceptance
+// test: under a seeded mid-run outage of the only replica site, the adaptive
+// planner — which sees the outage coming through the risk horizon and
+// emergency-replicates hot files to the local site — must recover strictly
+// faster than the static grid, and hold a strictly higher windowed hit ratio
+// at the moment the outage ends.
+func TestAdaptiveReplicationBeatsStaticUnderOutage(t *testing.T) {
+	w := smallWorkload(t, workload.Zipf, 800)
+	sc := faults.Scenario{Sites: map[int]faults.SiteFaults{
+		1: {Outages: []faults.Window{{Start: 150, End: 210}}},
+	}}
+	run := func(repl *ReplicationConfig) EventStats {
+		p := optFactory()(w.Spec.CacheSize, w.Catalog.SizeFunc())
+		// Remote-only replicas: every miss must cross the WAN, and the outage
+		// darkens the grid's only source.
+		cfg := buildGrid(t, w, func(bundle.FileID) bool { return false })
+		st, err := RunEvents(w, p, EventOptions{
+			ArrivalRate: 2, Grid: cfg, Seed: 7, Faults: &sc, Replication: repl,
+			RecoveryWindowJobs: 100, RecoveryEpsilon: 0.08,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+
+	static := run(nil)
+	adaptive := run(&ReplicationConfig{
+		EpochSec: 20, Budget: 64 * bundle.GB, RiskHorizonSec: 100,
+	})
+
+	if adaptive.Replication.Emergency == 0 || adaptive.Replication.Bytes == 0 {
+		t.Fatalf("risk horizon saw the outage but planned no emergencies: %+v", adaptive.Replication)
+	}
+	if len(static.Recoveries) != 1 || len(adaptive.Recoveries) != 1 {
+		t.Fatalf("recovery records: static %d adaptive %d, want 1 each",
+			len(static.Recoveries), len(adaptive.Recoveries))
+	}
+	rs, ra := static.Recoveries[0], adaptive.Recoveries[0]
+	t.Logf("static:   %+v", rs)
+	t.Logf("adaptive: %+v", ra)
+
+	if !ra.Recovered {
+		t.Fatalf("adaptive run never recovered: %+v", ra)
+	}
+	if rs.Recovered && ra.RecoverySec >= rs.RecoverySec {
+		t.Errorf("adaptive recovery %.1fs not strictly faster than static %.1fs",
+			ra.RecoverySec, rs.RecoverySec)
+	}
+	// Post-outage health is compared on the time-weighted mean windowed hit
+	// ratio: an instantaneous reading is confounded by the static run's
+	// backlog reordering completions, but the integral over the whole
+	// post-outage period must favor the planner that kept jobs flowing.
+	if ra.PostMeanRatio <= rs.PostMeanRatio {
+		t.Errorf("adaptive post-outage hit ratio %.3f not strictly above static %.3f",
+			ra.PostMeanRatio, rs.PostMeanRatio)
+	}
+	// The planner's copies also shorten the backlog: the adaptive run must
+	// not finish later than the static one.
+	if adaptive.Makespan > static.Makespan {
+		t.Errorf("adaptive makespan %.1fs exceeds static %.1fs", adaptive.Makespan, static.Makespan)
+	}
+}
+
+// TestReplicationDeterministic: two adaptive runs sharing every seed must
+// agree on all statistics, including the epoch and recovery records.
+func TestReplicationDeterministic(t *testing.T) {
+	w := smallWorkload(t, workload.Zipf, 250)
+	sc := faults.Scenario{
+		Seed:                3,
+		TransferFailureProb: 0.1,
+		Sites: map[int]faults.SiteFaults{
+			1: {Outages: []faults.Window{{Start: 40, End: 90}}},
+		},
+		MaxJobAttempts: 3,
+	}
+	run := func() EventStats {
+		p := optFactory()(w.Spec.CacheSize, w.Catalog.SizeFunc())
+		cfg := buildGrid(t, w, func(f bundle.FileID) bool { return f%4 == 0 })
+		st, err := RunEvents(w, p, EventOptions{
+			ArrivalRate: 2, Grid: cfg, Seed: 13, Faults: &sc,
+			Replication: &ReplicationConfig{
+				EpochSec: 15, Budget: 8 * bundle.GB, RetireBelow: 0.05, RiskHorizonSec: 30,
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("adaptive run not reproducible:\n%+v\n%+v", a, b)
+	}
+	if a.Replication.Epochs == 0 || a.Replication.Actions == 0 {
+		t.Errorf("adaptive run planned nothing: %+v", a.Replication)
+	}
+	if len(a.Recoveries) == 0 {
+		t.Error("outage produced no recovery record")
+	}
+}
+
+// TestReplicationValidation: the config is rejected up front, not mid-run.
+func TestReplicationValidation(t *testing.T) {
+	w := smallWorkload(t, workload.Zipf, 50)
+	p := optFactory()(w.Spec.CacheSize, w.Catalog.SizeFunc())
+	// No grid.
+	_, err := RunEvents(w, p, EventOptions{
+		ArrivalRate: 1, MSS: fastMSS(), Replication: &ReplicationConfig{EpochSec: 10},
+	})
+	if err == nil {
+		t.Error("Replication without Grid accepted")
+	}
+	// No epoch.
+	cfg := buildGrid(t, w, func(bundle.FileID) bool { return true })
+	_, err = RunEvents(w, p, EventOptions{
+		ArrivalRate: 1, Grid: cfg, Replication: &ReplicationConfig{},
+	})
+	if err == nil {
+		t.Error("zero EpochSec accepted")
+	}
+}

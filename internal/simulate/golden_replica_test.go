@@ -1,0 +1,76 @@
+package simulate
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fbcache/internal/bundle"
+	"fbcache/internal/faults"
+	"fbcache/internal/obs"
+	"fbcache/internal/workload"
+)
+
+// replicaOnlyTracer forwards only replica_plan events to the sink, keeping
+// the golden file a reviewable record of the planner's epoch decisions
+// rather than a full simulator trace.
+type replicaOnlyTracer struct {
+	obs.NopTracer
+	sink *obs.JSONLSink
+}
+
+func (t replicaOnlyTracer) ReplicaPlan(e obs.ReplicaPlanEvent) { t.sink.ReplicaPlan(e) }
+
+// TestGoldenReplicaTrace pins the replica_plan event vocabulary and the
+// epoch re-planner's decision sequence under a seeded outage: field names,
+// epoch ordinals, emergency counts, and byte totals must all reproduce
+// byte-for-byte. Regenerate after an intentional change with:
+//
+//	UPDATE_GOLDEN=1 go test ./internal/simulate -run TestGoldenReplicaTrace
+func TestGoldenReplicaTrace(t *testing.T) {
+	trace := func() []byte {
+		w := smallWorkload(t, workload.Zipf, 120)
+		sc := faults.Scenario{Sites: map[int]faults.SiteFaults{
+			1: {Outages: []faults.Window{{Start: 30, End: 60}}},
+		}}
+		p := optFactory()(w.Spec.CacheSize, w.Catalog.SizeFunc())
+		cfg := buildGrid(t, w, func(bundle.FileID) bool { return false })
+		var buf bytes.Buffer
+		sink := obs.NewJSONLSink(&buf)
+		_, err := RunEvents(w, p, EventOptions{
+			ArrivalRate: 2, Seed: 5, Grid: cfg, Faults: &sc,
+			Replication: &ReplicationConfig{
+				EpochSec: 10, Budget: 16 * bundle.GB,
+				RetireBelow: 0.02, RiskHorizonSec: 40,
+			},
+			Tracer: replicaOnlyTracer{sink: sink},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sink.Err(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	got := trace()
+	if again := trace(); !bytes.Equal(got, again) {
+		t.Fatal("two identical runs produced different replica traces")
+	}
+
+	golden := filepath.Join("testdata", "golden_replica_trace.jsonl")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with UPDATE_GOLDEN=1 to create it)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("replica trace differs from %s:\n--- got ---\n%s--- want ---\n%s", golden, got, want)
+	}
+}

@@ -210,3 +210,93 @@ func TestFaultSoak(t *testing.T) {
 		})
 	}
 }
+
+// TestFaultSoakChurnCorrelated crosses the generated scenario shapes —
+// correlated rack-group failures, site churn, diurnal brownouts — with the
+// epoch re-planner armed. The composed schedule is drawn once from seeded
+// generators, so the whole soak (fault draws, replication epochs, recovery
+// records) must be byte-reproducible; job accounting and pin hygiene are
+// checked as in TestFaultSoak.
+func TestFaultSoakChurnCorrelated(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	spec := workload.DefaultSpec()
+	spec.Jobs = 700
+	spec.NumFiles = 150
+	spec.NumRequests = 90
+	spec.CacheSize = 1 * bundle.GB
+	spec.MaxFilePct = 0.08
+	spec.MaxBundleFrac = 0.5
+	spec.Popularity = workload.Zipf
+	spec.Clusters = 15
+	w, err := workload.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sites := faults.GenCorrelated(faults.CorrelatedConfig{
+		Seed: 71, Groups: [][]int{{1}}, OutagesPerGroup: 2,
+		MeanOutageSec: 25, HorizonSec: 300,
+	})
+	sites = faults.MergeSites(sites, faults.GenChurn(faults.ChurnConfig{
+		Seed: 72, Sites: []int{1}, MeanUpSec: 80, MeanDownSec: 15, HorizonSec: 300,
+	}))
+	sites = faults.MergeSites(sites, faults.GenDiurnal(faults.DiurnalConfig{
+		Seed: 73, Sites: []int{0, 1}, PeriodSec: 100, BusyFrac: 0.3,
+		Factor: 2.5, HorizonSec: 300, PhaseJitter: true,
+	}))
+	sc := faults.Scenario{
+		Seed:                74,
+		TransferFailureProb: 0.1,
+		Sites:               sites,
+		Retry:               faults.RetryPolicy{MaxAttempts: 3, BaseDelaySec: 0.5, MaxDelaySec: 10, Multiplier: 2, JitterFrac: 0.25},
+		StageBudgetSec:      150,
+		MaxJobAttempts:      3,
+	}
+	if err := sc.Validate(); err != nil {
+		t.Fatalf("generated scenario invalid: %v", err)
+	}
+
+	run := func() EventStats {
+		p := policy.OptFileBundleFactory(core.Options{
+			History: history.Config{Truncation: history.CacheResident},
+		})(spec.CacheSize, w.Catalog.SizeFunc())
+		cfg := buildGrid(t, w, func(f bundle.FileID) bool { return f%3 == 0 })
+		st, err := RunEvents(w, p, EventOptions{
+			ArrivalRate: 3, Grid: cfg, Seed: 19, Faults: &sc,
+			Replication: &ReplicationConfig{
+				EpochSec: 15, Budget: 4 * bundle.GB,
+				RetireBelow: 0.05, RiskHorizonSec: 30,
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Cache().CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range p.Cache().Resident() {
+			if p.Cache().Pinned(f) {
+				t.Fatalf("leaked pin on %d", f)
+			}
+		}
+		return st
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("churn soak not reproducible:\n%+v\n%+v", a, b)
+	}
+	if got := a.Jobs + a.Resilience.FailedJobs + a.UnservedOversized; got != int64(spec.Jobs) {
+		t.Errorf("job accounting: completed %d + failed %d + oversized %d = %d, want %d",
+			a.Jobs, a.Resilience.FailedJobs, a.UnservedOversized, got, spec.Jobs)
+	}
+	if a.Replication.Epochs == 0 {
+		t.Error("re-planner never ran under the churn scenario")
+	}
+	if len(a.Recoveries) == 0 {
+		t.Error("generated outages produced no recovery records")
+	}
+	t.Logf("resilience=%+v replication=%+v recoveries=%d downtime=%v",
+		a.Resilience, a.Replication, len(a.Recoveries), a.SiteDowntime)
+}
