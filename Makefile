@@ -7,7 +7,7 @@ GO ?= go
 #   make fuzz FUZZTIME=5m
 FUZZTIME ?= 30s
 
-.PHONY: all build test test-invariant lint vet fbvet sarif doc-lint perfgate perfgate-sarif race bench bench-guard bench-json bench-require bench-json-replicate bench-require-replicate trace-check fuzz soak clean
+.PHONY: all build test test-invariant lint vet fbvet sarif doc-lint perfgate perfgate-sarif race bench bench-guard bench-json bench-require bench-compare bench-json-replicate bench-require-replicate trace-check fuzz soak clean
 
 all: build lint test
 
@@ -88,7 +88,8 @@ bench-guard:
 bench-json:
 	$(GO) test -run '^$$' -bench 'OptCacheSelect|BenchmarkLandlord|RunEvents|Run(OptFileBundle|Landlord)1000' \
 		-benchmem -benchtime=100x ./internal/core/ ./internal/policy/landlord/ ./internal/simulate/ \
-		| $(GO) run ./cmd/benchjson -require OptCacheSelect -require Landlord -out BENCH_core.json
+		| $(GO) run ./cmd/benchjson -require OptCacheSelect -require Landlord \
+			-require RunEvents -require RunOptFileBundle1000 -out BENCH_core.json
 	@echo wrote BENCH_core.json
 
 # bench-require re-runs the bench-json benchmarks and compares against the
@@ -103,7 +104,22 @@ bench-require:
 	$(GO) test -run '^$$' -bench 'OptCacheSelect|BenchmarkLandlord|RunEvents|Run(OptFileBundle|Landlord)1000' \
 		-benchmem -benchtime=100x ./internal/core/ ./internal/policy/landlord/ ./internal/simulate/ \
 		| $(GO) run ./cmd/benchjson -require OptCacheSelect -require Landlord \
+			-require RunEvents -require RunOptFileBundle1000 \
 			-baseline BENCH_core.json -max-ns-ratio $(NSRATIO) -max-alloc-ratio 1.01 -out /dev/null
+
+# bench-compare re-runs the bench-json benchmarks against the checked-in
+# baseline and writes the before/after table to bench-compare.md — the
+# artifact CI uploads so perf deltas are reviewable in the PR. The table is
+# written even when the comparison regresses (the exit code still fails the
+# step); NSRATIO gates timing exactly as in bench-require.
+bench-compare:
+	$(GO) test -run '^$$' -bench 'OptCacheSelect|BenchmarkLandlord|RunEvents|Run(OptFileBundle|Landlord)1000' \
+		-benchmem -benchtime=100x ./internal/core/ ./internal/policy/landlord/ ./internal/simulate/ \
+		| $(GO) run ./cmd/benchjson -require OptCacheSelect -require Landlord \
+			-require RunEvents -require RunOptFileBundle1000 \
+			-baseline BENCH_core.json -max-ns-ratio $(NSRATIO) -max-alloc-ratio 1.01 \
+			-markdown bench-compare.md -out /dev/null
+	@echo wrote bench-compare.md
 
 # bench-json-replicate snapshots the replication planner's benchmarks
 # (static Plan, per-arrival predictor fold, full Replan epoch) into

@@ -72,6 +72,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	out := fs.String("out", "", "output file (default stdout)")
 	baseline := fs.String("baseline", "", "previous benchjson file to compare against; regressions exit 1")
+	markdown := fs.String("markdown", "", "write a Markdown before/after table to FILE (before/after needs -baseline)")
 	maxNsRatio := fs.Float64("max-ns-ratio", 0, "with -baseline, fail when ns/op > baseline*ratio (0 disables the timing gate)")
 	maxAllocRatio := fs.Float64("max-alloc-ratio", 1.0, "with -baseline, fail when allocs/op > baseline*ratio")
 	var require multiFlag
@@ -146,6 +147,15 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 			return 1
 		}
 		regressions, compared := Compare(base, doc, *maxNsRatio, *maxAllocRatio)
+		// The Markdown table is written before the regression exit so a
+		// failing CI gate still uploads a reviewable artifact showing what
+		// moved — the whole point of the comparison when the news is bad.
+		if *markdown != "" {
+			if err := os.WriteFile(*markdown, Markdown(&base, doc, regressions), 0o644); err != nil {
+				fmt.Fprintf(stderr, "benchjson: %v\n", err)
+				return 1
+			}
+		}
 		for _, r := range regressions {
 			fmt.Fprintf(stderr, "benchjson: regression: %s\n", r)
 		}
@@ -153,6 +163,11 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 			return 1
 		}
 		fmt.Fprintf(stderr, "benchjson: no regressions vs %s (%d benchmarks compared)\n", *baseline, compared)
+	} else if *markdown != "" {
+		if err := os.WriteFile(*markdown, Markdown(nil, doc, nil), 0o644); err != nil {
+			fmt.Fprintf(stderr, "benchjson: %v\n", err)
+			return 1
+		}
 	}
 
 	enc, err := json.MarshalIndent(doc, "", "  ")
@@ -208,6 +223,71 @@ func Compare(base, cur File, nsRatio, allocRatio float64) (regressions []string,
 		}
 	}
 	return regressions, compared
+}
+
+// Markdown renders cur as a GitHub-flavored Markdown table. With a baseline
+// it is a before/after comparison — ns/op and allocs/op side by side with the
+// timing delta — ordered by the baseline's benchmark order, with benchmarks
+// new in cur appended; without one it is a plain single-run table. Any
+// regressions from Compare are listed after the table so the CI artifact
+// tells the whole story on its own.
+func Markdown(base *File, cur File, regressions []string) []byte {
+	var sb strings.Builder
+	shortPkg := func(pkg string) string {
+		if i := strings.LastIndexByte(pkg, '/'); i >= 0 {
+			return pkg[i+1:]
+		}
+		return pkg
+	}
+	name := func(b Benchmark) string { return shortPkg(b.Pkg) + "." + b.Name }
+	sb.WriteString("# Benchmark comparison\n\n")
+	if base == nil {
+		sb.WriteString("| Benchmark | ns/op | B/op | allocs/op |\n")
+		sb.WriteString("|---|---:|---:|---:|\n")
+		for _, b := range cur.Benchmarks {
+			fmt.Fprintf(&sb, "| %s | %.0f | %d | %d |\n", name(b), b.NsPerOp, b.BPerOp, b.AllocsPerOp)
+		}
+		return []byte(sb.String())
+	}
+
+	key := func(b Benchmark) string { return b.Pkg + " " + b.Name }
+	inBase := make(map[string]bool, len(base.Benchmarks))
+	current := make(map[string]Benchmark, len(cur.Benchmarks))
+	for _, b := range cur.Benchmarks {
+		current[key(b)] = b
+	}
+	sb.WriteString("| Benchmark | ns/op before | ns/op after | Δ ns/op | allocs/op before | allocs/op after |\n")
+	sb.WriteString("|---|---:|---:|---:|---:|---:|\n")
+	for _, old := range base.Benchmarks {
+		inBase[key(old)] = true
+		now, ok := current[key(old)]
+		if !ok {
+			fmt.Fprintf(&sb, "| %s | %.0f | *missing* | — | %d | *missing* |\n",
+				name(old), old.NsPerOp, old.AllocsPerOp)
+			continue
+		}
+		delta := "—"
+		if old.NsPerOp > 0 {
+			delta = fmt.Sprintf("%+.1f%%", (now.NsPerOp-old.NsPerOp)/old.NsPerOp*100)
+		}
+		fmt.Fprintf(&sb, "| %s | %.0f | %.0f | %s | %d | %d |\n",
+			name(old), old.NsPerOp, now.NsPerOp, delta, old.AllocsPerOp, now.AllocsPerOp)
+	}
+	for _, b := range cur.Benchmarks {
+		if inBase[key(b)] {
+			continue
+		}
+		fmt.Fprintf(&sb, "| %s | *new* | %.0f | — | *new* | %d |\n", name(b), b.NsPerOp, b.AllocsPerOp)
+	}
+	if len(regressions) > 0 {
+		sb.WriteString("\n## Regressions\n\n")
+		for _, r := range regressions {
+			fmt.Fprintf(&sb, "- %s\n", r)
+		}
+	} else {
+		sb.WriteString("\nNo regressions against the checked-in baseline.\n")
+	}
+	return []byte(sb.String())
 }
 
 // Parse reads `go test -bench` text output. Context lines (goos/goarch/

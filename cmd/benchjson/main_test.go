@@ -205,6 +205,99 @@ func TestRunBaseline(t *testing.T) {
 	}
 }
 
+// TestMarkdown pins the table layout: baseline order preserved, deltas
+// computed from ns/op, new benchmarks appended, missing ones called out, and
+// regressions listed after the table.
+func TestMarkdown(t *testing.T) {
+	base := File{Schema: Schema, Benchmarks: []Benchmark{
+		bench("fbcache/internal/core", "BenchmarkA-8", 100, 5),
+		bench("fbcache/internal/core", "BenchmarkGone-8", 50, 1),
+	}}
+	cur := File{Schema: Schema, Benchmarks: []Benchmark{
+		bench("fbcache/internal/core", "BenchmarkA-8", 80, 5),
+		bench("fbcache/internal/core", "BenchmarkNew-8", 10, 0),
+	}}
+	md := string(Markdown(&base, cur, []string{"core BenchmarkGone-8: missing"}))
+	for _, want := range []string{
+		"| core.BenchmarkA-8 | 100 | 80 | -20.0% | 5 | 5 |",
+		"| core.BenchmarkGone-8 | 50 | *missing* |",
+		"| core.BenchmarkNew-8 | *new* | 10 |",
+		"## Regressions",
+		"- core BenchmarkGone-8: missing",
+	} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q:\n%s", want, md)
+		}
+	}
+	if clean := string(Markdown(&base, cur, nil)); !strings.Contains(clean, "No regressions") {
+		t.Errorf("clean comparison lacks the all-clear line:\n%s", clean)
+	}
+
+	single := string(Markdown(nil, cur, nil))
+	if !strings.Contains(single, "| core.BenchmarkA-8 | 80 | 0 | 5 |") {
+		t.Errorf("single-run table: %s", single)
+	}
+}
+
+// TestRunMarkdown drives -markdown end to end, including the property the CI
+// artifact depends on: the table is written even when the comparison fails.
+func TestRunMarkdown(t *testing.T) {
+	dir := t.TempDir()
+	basePath := filepath.Join(dir, "base.json")
+	mdPath := filepath.Join(dir, "compare.md")
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-out", basePath}, strings.NewReader(sample), &stdout, &stderr); code != 0 {
+		t.Fatalf("writing baseline: code %d, stderr %s", code, stderr.String())
+	}
+
+	stderr.Reset()
+	code := run([]string{"-baseline", basePath, "-markdown", mdPath, "-out", filepath.Join(dir, "new.json")},
+		strings.NewReader(sample), &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("self-comparison: code %d, stderr %s", code, stderr.String())
+	}
+	md, err := os.ReadFile(mdPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(md), "core.BenchmarkOptCacheSelect/n=1000-8") ||
+		!strings.Contains(string(md), "No regressions") {
+		t.Errorf("markdown: %s", md)
+	}
+
+	// Doctor the baseline into a regression; the table must still land.
+	data, err := os.ReadFile(basePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doctored := strings.Replace(string(data), `"allocs_per_op": 789`, `"allocs_per_op": 788`, 1)
+	if err := os.WriteFile(basePath, []byte(doctored), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stderr.Reset()
+	code = run([]string{"-baseline", basePath, "-markdown", mdPath}, strings.NewReader(sample), &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("doctored baseline: code %d, stderr %s", code, stderr.String())
+	}
+	if md, err = os.ReadFile(mdPath); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(md), "## Regressions") {
+		t.Errorf("failed comparison left no regression section: %s", md)
+	}
+
+	// -markdown without -baseline writes the single-run table.
+	if code := run([]string{"-markdown", mdPath}, strings.NewReader(sample), &stdout, &stderr); code != 0 {
+		t.Fatalf("single-run markdown: code %d, stderr %s", code, stderr.String())
+	}
+	if md, err = os.ReadFile(mdPath); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(md), "before") {
+		t.Errorf("single-run table has before/after columns: %s", md)
+	}
+}
+
 // TestRunBaselineBadFile checks the failure modes before comparison.
 func TestRunBaselineBadFile(t *testing.T) {
 	var stdout, stderr bytes.Buffer

@@ -7,16 +7,17 @@ import (
 
 // HotComplexity flags full-collection re-sort calls in hot scopes: a sort
 // inside a loop body, or anywhere inside a function carrying a perf
-// directive. A per-admission re-sort is the O(n log n) step ROADMAP item 2
-// replaces with incremental structures; this analyzer keeps one from
-// creeping back in. It is AST-only (no compiler sweep needed) but runs with
+// directive. A per-admission re-sort is the O(n log n) step the incremental ranking
+// heap (DESIGN.md §13, formerly ROADMAP item 2) replaced; this analyzer
+// keeps one from creeping back in. It is AST-only (no compiler sweep needed) but runs with
 // the perf suite because its target — per-admission cost — is the same
 // contract.
 var HotComplexity = &Analyzer{
 	Name: "hotcomplexity",
 	Doc: "flag sort.*/slices.Sort* calls inside loop bodies or inside functions " +
 		"carrying a perf directive: a full re-sort per admission round is the " +
-		"O(n log n) rebuild ROADMAP item 2 eliminates. Hoist the sort out of the " +
+		"O(n log n) rebuild the incremental ranking heap (DESIGN.md §13) eliminated. " +
+		"Hoist the sort out of the " +
 		"loop or maintain the order incrementally.",
 	Run: runHotComplexity,
 }
@@ -60,7 +61,7 @@ func runHotComplexity(pass *Pass) {
 					if depth == 0 {
 						where = "inside perf-contract function " + f.Name
 					}
-					pass.ReportAt(n.Pos(), "%s.%s %s: a full re-sort on the admission path is O(n log n) — hoist it or maintain the order incrementally (ROADMAP item 2)", pkg, name, where)
+					pass.ReportAt(n.Pos(), "%s.%s %s: a full re-sort on the admission path is O(n log n) — hoist it or maintain the order incrementally (DESIGN.md §13)", pkg, name, where)
 				}
 			}
 			loops = append(loops, isLoop)

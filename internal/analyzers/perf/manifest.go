@@ -17,12 +17,21 @@ type Contract struct {
 // DESIGN.md §11, which documents why each function carries its contracts.
 // Tests mutate this map (with cleanup) to exercise enforcement.
 var manifest = map[string][]Contract{
-	// The OptCacheSelect admission round (paper §3 step 2/3): the resort
-	// scan is the per-admission inner loop ROADMAP item 2 targets at
-	// 0 allocs/op steady state.
+	// The OptCacheSelect admission round (paper §3 step 2/3), now served by
+	// the incremental ranking heap (DESIGN.md §13): the sift/repair
+	// operations are the per-admission inner loop and must stay
+	// allocation-free and bounds-check-free at 0 allocs/op steady state.
 	"fbcache/internal/core": {
-		{Func: "(*resortState).argmax", Directives: []string{"noescape", "nobce"}},
-		{Func: "(*resortState).chargeCovered", Directives: []string{"noescape", "nobce"}},
+		{Func: "better", Directives: []string{"noescape", "inline"}},
+		{Func: "(*rankHeap).push", Directives: []string{"noescape", "nobce"}},
+		{Func: "(*rankHeap).popTop", Directives: []string{"noescape", "nobce"}},
+		{Func: "(*rankHeap).fix", Directives: []string{"noescape", "nobce"}},
+		{Func: "(*rankHeap).siftUp", Directives: []string{"noescape", "nobce"}},
+		{Func: "(*rankHeap).siftDown", Directives: []string{"noescape", "nobce"}},
+		{Func: "(*fileSet).has", Directives: []string{"noescape", "inline"}},
+		{Func: "(*resortState).chargedSizeSkip", Directives: []string{"noescape", "nobce"}},
+		{Func: "(*resortState).repair", Directives: []string{"noescape", "nobce"}},
+		{Func: "rankOf", Directives: []string{"noescape", "inline"}},
 		{Func: "chargedSize", Directives: []string{"noescape", "inline", "nobce"}},
 		{Func: "(*OptFileBundle).RelativeValue", Directives: []string{"noescape", "nobce"}},
 	},

@@ -23,7 +23,8 @@
 //
 // A fourth analyzer, hotcomplexity, needs no compiler output: it flags
 // sort/rebuild calls inside loops and inside contract-annotated functions —
-// the O(n log n)-per-admission re-sorts ROADMAP item 2 targets.
+// the O(n log n)-per-admission re-sorts the incremental ranking heap
+// (DESIGN.md §13) eliminated.
 //
 // The perf manifest (manifest.go) pins which hot-path functions MUST carry
 // which contracts, so deleting an annotation is itself a finding rather

@@ -11,7 +11,7 @@ package bundle
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 )
 
@@ -72,7 +72,10 @@ func (b Bundle) normalize() Bundle {
 	if len(b) < 2 {
 		return b
 	}
-	sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
+	// slices.Sort, not sort.Slice: the reflection-based swapper allocates,
+	// and normalize runs on every Bundle construction, including the
+	// per-admission Loaded/Evicted scratch canonicalization.
+	slices.Sort(b)
 	out := b[:1]
 	for _, id := range b[1:] {
 		if id != out[len(out)-1] {
@@ -88,8 +91,10 @@ func (b Bundle) Len() int { return len(b) }
 // Contains reports whether id is a member of the bundle.
 // The bundle is sorted, so this is a binary search.
 func (b Bundle) Contains(id FileID) bool {
-	i := sort.Search(len(b), func(i int) bool { return b[i] >= id })
-	return i < len(b) && b[i] == id
+	// slices.BinarySearch, not sort.Search: no closure to materialize on
+	// per-file membership tests inside eviction scans.
+	_, ok := slices.BinarySearch(b, id)
+	return ok
 }
 
 // SubsetOf reports whether every file of b is also in other.
@@ -203,6 +208,36 @@ func (b Bundle) Key() string {
 		sb.WriteString(utoa(uint64(id)))
 	}
 	return sb.String()
+}
+
+// AppendKey appends the Key representation of b to dst and returns the
+// extended slice — the allocation-free form of Key for hot-path callers
+// (history lookups) that reuse a scratch buffer and probe the hash table
+// with string(buf), which Go compiles to a no-copy lookup.
+func (b Bundle) AppendKey(dst []byte) []byte {
+	for i, id := range b {
+		if i > 0 {
+			dst = append(dst, ',')
+		}
+		dst = appendUint(dst, uint64(id))
+	}
+	return dst
+}
+
+// appendUint appends the decimal digits of u to dst (utoa without the string
+// allocation).
+func appendUint(dst []byte, u uint64) []byte {
+	if u == 0 {
+		return append(dst, '0')
+	}
+	var buf [20]byte
+	i := len(buf)
+	for u > 0 {
+		i--
+		buf[i] = byte('0' + u%10) //fbvet:allow sizeunits — u%10 < 10 always fits a byte
+		u /= 10
+	}
+	return append(dst, buf[i:]...)
 }
 
 func utoa(u uint64) string {

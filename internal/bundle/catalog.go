@@ -3,6 +3,7 @@ package bundle
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // Catalog maps human-readable file names to dense FileIDs and records file
@@ -11,6 +12,15 @@ import (
 //
 // A Catalog is safe for concurrent use.
 type Catalog struct {
+	// snap is a lazily built copy-on-write snapshot of sizes: mutations
+	// invalidate it (Store(nil) under mu), and the first Size call after a
+	// mutation rebuilds it under mu. Steady-state Size calls — the per-file
+	// SizeFunc reads on every selection round — then run lock-free on the
+	// immutable snapshot, which profiling showed removes the RWMutex from
+	// the admission hot path entirely. Declared before mu because it is
+	// atomically self-synchronized, not mutex-guarded.
+	snap atomic.Pointer[[]Size]
+
 	mu    sync.RWMutex
 	names []string
 	sizes []Size
@@ -32,12 +42,14 @@ func (c *Catalog) Add(name string, size Size) FileID {
 	defer c.mu.Unlock()
 	if id, ok := c.index[name]; ok {
 		c.sizes[id] = size
+		c.snap.Store(nil)
 		return id
 	}
 	id := FileID(len(c.names))
 	c.names = append(c.names, name)
 	c.sizes = append(c.sizes, size)
 	c.index[name] = id
+	c.snap.Store(nil)
 	return id
 }
 
@@ -50,6 +62,7 @@ func (c *Catalog) AddAnonymous(size Size) FileID {
 	c.names = append(c.names, name)
 	c.sizes = append(c.sizes, size)
 	c.index[name] = id
+	c.snap.Store(nil)
 	return id
 }
 
@@ -68,11 +81,24 @@ func (c *Catalog) Name(id FileID) string {
 	return c.names[id]
 }
 
-// Size returns the size of file id. It panics on unknown IDs.
+// Size returns the size of file id. It panics on unknown IDs. The fast path
+// reads the lock-free snapshot; only the first call after a mutation takes
+// the lock (to rebuild it).
 func (c *Catalog) Size(id FileID) Size {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.sizes[id]
+	if p := c.snap.Load(); p != nil {
+		return (*p)[id]
+	}
+	return c.sizeSlow(id)
+}
+
+// sizeSlow rebuilds the snapshot under the lock and answers from it.
+func (c *Catalog) sizeSlow(id FileID) Size {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	snap := make([]Size, len(c.sizes))
+	copy(snap, c.sizes)
+	c.snap.Store(&snap)
+	return snap[id]
 }
 
 // SizeFunc returns a SizeFunc backed by the catalog.

@@ -11,7 +11,6 @@ package cache
 
 import (
 	"fmt"
-	"sort"
 
 	"fbcache/internal/bundle"
 	"fbcache/internal/invariant"
@@ -23,8 +22,18 @@ import (
 type Cache struct {
 	capacity bundle.Size
 	used     bundle.Size
-	resident map[bundle.FileID]bundle.Size
-	pins     map[bundle.FileID]int
+
+	// Residency and pins are dense tables indexed by FileID (catalog IDs are
+	// sequential small integers): size[f] is f's resident byte size or -1
+	// when absent, pins[f] its pin count. Dense storage turns the per-file
+	// probes on every admission hot path (Supports, Contains, Pinned,
+	// MissingAppend) into bounds-checked loads instead of map lookups, and
+	// makes resident listings naturally ascending. count tracks the number
+	// of resident files. Both tables grow together on first sight of a
+	// larger FileID.
+	size  []bundle.Size
+	pins  []int32
+	count int
 
 	// Cumulative counters since New or ResetCounters.
 	bytesLoaded  bundle.Size
@@ -44,11 +53,7 @@ func New(capacity bundle.Size) *Cache {
 	if capacity < 0 {
 		panic(fmt.Sprintf("cache: negative capacity %d", capacity))
 	}
-	return &Cache{
-		capacity: capacity,
-		resident: make(map[bundle.FileID]bundle.Size),
-		pins:     make(map[bundle.FileID]int),
-	}
+	return &Cache{capacity: capacity}
 }
 
 // SetTracer installs t (nil disables tracing). Every Insert emits a
@@ -83,15 +88,15 @@ func (c *Cache) Free() bundle.Size { return c.capacity - c.used }
 //
 //fbvet:inline
 //fbvet:noescape
-func (c *Cache) Len() int { return len(c.resident) }
+func (c *Cache) Len() int { return c.count }
 
 // Contains reports whether file f is resident.
 //
 //fbvet:inline read per file on ranking and prefetch paths
 //fbvet:noescape
 func (c *Cache) Contains(f bundle.FileID) bool {
-	_, ok := c.resident[f]
-	return ok
+	i := int(f)
+	return i < len(c.size) && c.size[i] >= 0
 }
 
 // SizeOf returns the resident size of f and whether it is resident.
@@ -99,8 +104,10 @@ func (c *Cache) Contains(f bundle.FileID) bool {
 //fbvet:inline
 //fbvet:noescape
 func (c *Cache) SizeOf(f bundle.FileID) (bundle.Size, bool) {
-	s, ok := c.resident[f]
-	return s, ok
+	if i := int(f); i < len(c.size) && c.size[i] >= 0 {
+		return c.size[i], true
+	}
+	return 0, false
 }
 
 // Supports reports whether every file of b is resident — the paper's
@@ -111,8 +118,10 @@ func (c *Cache) SizeOf(f bundle.FileID) (bundle.Size, bool) {
 //fbvet:noescape
 //fbvet:nobce
 func (c *Cache) Supports(b bundle.Bundle) bool {
+	sz := c.size
 	for _, f := range b {
-		if _, ok := c.resident[f]; !ok {
+		i := int(f)
+		if uint(i) >= uint(len(sz)) || sz[i] < 0 {
 			return false
 		}
 	}
@@ -128,8 +137,9 @@ func (c *Cache) Missing(b bundle.Bundle) bundle.Bundle {
 // extended slice — the allocation-free form of Missing for per-admission
 // callers that reuse a scratch slice.
 func (c *Cache) MissingAppend(dst, b bundle.Bundle) bundle.Bundle {
+	sz := c.size
 	for _, f := range b {
-		if _, ok := c.resident[f]; !ok {
+		if i := int(f); uint(i) >= uint(len(sz)) || sz[i] < 0 {
 			dst = append(dst, f)
 		}
 	}
@@ -139,8 +149,9 @@ func (c *Cache) MissingAppend(dst, b bundle.Bundle) bundle.Bundle {
 // MissingBytes reports the total size of b's non-resident files under sizeOf.
 func (c *Cache) MissingBytes(b bundle.Bundle, sizeOf bundle.SizeFunc) bundle.Size {
 	var total bundle.Size
+	sz := c.size
 	for _, f := range b {
-		if _, ok := c.resident[f]; !ok {
+		if i := int(f); uint(i) >= uint(len(sz)) || sz[i] < 0 {
 			total += sizeOf(f)
 		}
 	}
@@ -157,7 +168,8 @@ func (c *Cache) Insert(f bundle.FileID, size bundle.Size) error {
 	if size > c.capacity {
 		return fmt.Errorf("cache: insert %d: size %d exceeds capacity %d", f, size, c.capacity)
 	}
-	if old, ok := c.resident[f]; ok {
+	i := c.grow(f)
+	if old := c.size[i]; old >= 0 {
 		if old == size {
 			return nil
 		}
@@ -166,7 +178,8 @@ func (c *Cache) Insert(f bundle.FileID, size bundle.Size) error {
 	if c.used+size > c.capacity {
 		return fmt.Errorf("cache: insert %d: need %d bytes, only %d free", f, size, c.Free())
 	}
-	c.resident[f] = size
+	c.size[i] = size
+	c.count++
 	c.used += size
 	c.bytesLoaded += size
 	c.loads++
@@ -183,14 +196,16 @@ func (c *Cache) Insert(f bundle.FileID, size bundle.Size) error {
 
 // Evict removes f. It returns an error if f is pinned or not resident.
 func (c *Cache) Evict(f bundle.FileID) error {
-	size, ok := c.resident[f]
-	if !ok {
+	i := int(f)
+	if i >= len(c.size) || c.size[i] < 0 {
 		return fmt.Errorf("cache: evict %d: not resident", f)
 	}
-	if c.pins[f] > 0 {
-		return fmt.Errorf("cache: evict %d: pinned %d times", f, c.pins[f])
+	size := c.size[i]
+	if c.pins[i] > 0 {
+		return fmt.Errorf("cache: evict %d: pinned %d times", f, c.pins[i])
 	}
-	delete(c.resident, f)
+	c.size[i] = -1
+	c.count--
 	c.used -= size
 	c.bytesEvicted += size
 	c.evictions++
@@ -208,21 +223,21 @@ func (c *Cache) Evict(f bundle.FileID) error {
 // Pin increments f's pin count, protecting it from eviction while a job runs.
 // It returns an error if f is not resident.
 func (c *Cache) Pin(f bundle.FileID) error {
-	if _, ok := c.resident[f]; !ok {
+	i := int(f)
+	if i >= len(c.size) || c.size[i] < 0 {
 		return fmt.Errorf("cache: pin %d: not resident", f)
 	}
-	c.pins[f]++
+	c.pins[i]++
 	return nil
 }
 
 // Unpin decrements f's pin count. It returns an error if f is not pinned.
 func (c *Cache) Unpin(f bundle.FileID) error {
-	if c.pins[f] <= 0 {
+	i := int(f)
+	if i >= len(c.pins) || c.pins[i] <= 0 {
 		return fmt.Errorf("cache: unpin %d: not pinned", f)
 	}
-	if c.pins[f]--; c.pins[f] == 0 {
-		delete(c.pins, f)
-	}
+	c.pins[i]--
 	return nil
 }
 
@@ -230,7 +245,10 @@ func (c *Cache) Unpin(f bundle.FileID) error {
 //
 //fbvet:inline read per file on every eviction scan
 //fbvet:noescape
-func (c *Cache) Pinned(f bundle.FileID) bool { return c.pins[f] > 0 }
+func (c *Cache) Pinned(f bundle.FileID) bool {
+	i := int(f)
+	return i < len(c.pins) && c.pins[i] > 0
+}
 
 // PinBundle pins every file of b, or pins nothing and returns an error if any
 // file is absent.
@@ -239,7 +257,7 @@ func (c *Cache) PinBundle(b bundle.Bundle) error {
 		return fmt.Errorf("cache: pin bundle %v: not fully resident", b)
 	}
 	for _, f := range b {
-		c.pins[f]++
+		c.pins[int(f)]++
 	}
 	return nil
 }
@@ -256,7 +274,7 @@ func (c *Cache) UnpinBundle(b bundle.Bundle) error {
 
 // Resident returns the resident file IDs in ascending order.
 func (c *Cache) Resident() bundle.Bundle {
-	return c.ResidentAppend(make(bundle.Bundle, 0, len(c.resident)))
+	return c.ResidentAppend(make(bundle.Bundle, 0, c.count))
 }
 
 // ResidentAppend appends the resident file IDs to dst and returns the
@@ -265,11 +283,32 @@ func (c *Cache) Resident() bundle.Bundle {
 // slice. Pass an empty dst (typically scratch[:0]); prior contents are
 // sorted together with the appended IDs.
 func (c *Cache) ResidentAppend(dst bundle.Bundle) bundle.Bundle {
-	for f := range c.resident {
-		dst = append(dst, f)
+	// The dense table walks in ascending FileID order, so the listing is
+	// sorted by construction — no sort pass, no comparator allocation.
+	for i, s := range c.size {
+		if s >= 0 {
+			dst = append(dst, bundle.FileID(i))
+		}
 	}
-	sort.Slice(dst, func(i, j int) bool { return dst[i] < dst[j] })
 	return dst
+}
+
+// grow widens the dense tables to cover f and returns int(f). New size slots
+// start at -1 (absent); new pin slots at 0.
+func (c *Cache) grow(f bundle.FileID) int {
+	i := int(f)
+	if i >= len(c.size) {
+		n := max(i+1, 2*len(c.size))
+		gs := make([]bundle.Size, n)
+		for j := copy(gs, c.size); j < n; j++ {
+			gs[j] = -1
+		}
+		c.size = gs
+		gp := make([]int32, n)
+		copy(gp, c.pins)
+		c.pins = gp
+	}
+	return i
 }
 
 // Counters reports cumulative traffic since construction or ResetCounters.
@@ -284,17 +323,20 @@ func (c *Cache) ResetCounters() {
 
 // CheckInvariants verifies internal consistency (used == Σ sizes, pins only on
 // resident files, used ≤ capacity). Tests and the simulator's paranoid mode
-// call this; it returns a descriptive error on the first violation. Both maps
-// are walked in sorted key order so the violation reported — and therefore any
-// test output built from it — does not depend on map iteration order.
+// call this; it returns a descriptive error on the first violation. The dense
+// tables walk in ascending FileID order, so the violation reported — and
+// therefore any test output built from it — is deterministic.
 func (c *Cache) CheckInvariants() error {
 	var sum bundle.Size
-	for _, f := range c.Resident() {
-		s := c.resident[f]
-		if s < 0 {
-			return fmt.Errorf("cache: file %d has negative size %d", f, s)
+	var n int
+	for _, s := range c.size {
+		if s >= 0 {
+			sum += s
+			n++
 		}
-		sum += s
+	}
+	if n != c.count {
+		return fmt.Errorf("cache: count=%d but %d resident sizes", c.count, n)
 	}
 	if sum != c.used {
 		return fmt.Errorf("cache: used=%d but sizes sum to %d", c.used, sum)
@@ -302,18 +344,12 @@ func (c *Cache) CheckInvariants() error {
 	if c.used > c.capacity {
 		return fmt.Errorf("cache: used %d exceeds capacity %d", c.used, c.capacity)
 	}
-	pinned := make([]bundle.FileID, 0, len(c.pins))
-	for f := range c.pins {
-		pinned = append(pinned, f)
-	}
-	sort.Slice(pinned, func(i, j int) bool { return pinned[i] < pinned[j] })
-	for _, f := range pinned {
-		p := c.pins[f]
+	for i, p := range c.pins {
 		if p < 0 {
-			return fmt.Errorf("cache: file %d has negative pin count %d", f, p)
+			return fmt.Errorf("cache: file %d has negative pin count %d", i, p)
 		}
-		if _, ok := c.resident[f]; !ok && p > 0 {
-			return fmt.Errorf("cache: file %d pinned but not resident", f)
+		if p > 0 && (i >= len(c.size) || c.size[i] < 0) {
+			return fmt.Errorf("cache: file %d pinned but not resident", i)
 		}
 	}
 	return nil

@@ -3,7 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"fbcache/internal/bundle"
 	"fbcache/internal/cache"
@@ -57,10 +57,13 @@ type Result struct {
 	FilesLoaded  int
 	FilesEvicted int
 	// Loaded lists the files fetched by this admission (demand + prefetch),
-	// so timed simulators can schedule the actual transfers.
+	// so timed simulators can schedule the actual transfers. It aliases
+	// per-policy scratch: valid until the next Admit on the same policy —
+	// callers that retain it across admissions must Clone (the SRM layer
+	// does exactly that before releasing its lock).
 	Loaded bundle.Bundle
 	// Evicted lists the files this admission pushed out, so store-backed
-	// deployments can delete the bytes.
+	// deployments can delete the bytes. Same scratch lifetime as Loaded.
 	Evicted bundle.Bundle
 	// Unserviceable marks requests whose bundle exceeds the cache capacity;
 	// no loading is attempted for them.
@@ -86,12 +89,14 @@ type OptFileBundle struct {
 	admissions       int64
 
 	// Selection and eviction scratch reused across admissions, so the
-	// steady-state Admit path stops allocating (ROADMAP item 2); the perf
+	// steady-state Admit path allocates nothing (DESIGN.md §13); the perf
 	// contracts on the selector internals keep it that way.
 	selScratch      resortState
 	candScratch     []Candidate
+	entriesScratch  []*history.Entry
 	missScratch     bundle.Bundle
-	keepScratch     map[bundle.FileID]bool
+	loadedScratch   []bundle.FileID
+	keepScratch     fileSet
 	residentScratch bundle.Bundle
 	evictScratch    bundle.Bundle
 
@@ -211,6 +216,7 @@ func (p *OptFileBundle) Admit(b bundle.Bundle) Result {
 	p.prefetchBytes = 0
 	p.prefetchFiles = 0
 	p.prefetched = p.prefetched[:0]
+	p.loadedScratch = p.loadedScratch[:0]
 
 	if p.cache.Free() < needed || p.opts.LiteralEvict {
 		p.replace(b, needed)
@@ -224,17 +230,19 @@ func (p *OptFileBundle) Admit(b bundle.Bundle) Result {
 		}
 		res.FilesLoaded++
 		res.BytesLoaded += p.sizeOf(f)
-		res.Loaded = append(res.Loaded, f)
+		p.loadedScratch = append(p.loadedScratch, f)
 	}
 	res.FilesEvicted = p.lastEvicted
-	res.Evicted = bundle.New(p.lastEvictedFiles...)
+	// FromSlice canonicalizes the scratch in place — no copy; Result
+	// documents the aliasing.
+	res.Evicted = bundle.FromSlice(p.lastEvictedFiles)
 
 	if p.opts.Prefetch {
 		res.BytesLoaded += p.prefetchBytes
 		res.FilesLoaded += p.prefetchFiles
-		res.Loaded = append(res.Loaded, p.prefetched...)
+		p.loadedScratch = append(p.loadedScratch, p.prefetched...)
 	}
-	res.Loaded = bundle.FromSlice(res.Loaded)
+	res.Loaded = bundle.FromSlice(p.loadedScratch)
 
 	if invariant.Enabled {
 		// All-or-nothing admission: a serviceable miss ends with the whole
@@ -274,24 +282,20 @@ func (p *OptFileBundle) maybeDecay() {
 func (p *OptFileBundle) replace(b bundle.Bundle, needed bundle.Size) {
 	sel := p.runSelection(b)
 
-	if p.keepScratch == nil {
-		p.keepScratch = make(map[bundle.FileID]bool, len(sel.Files)+len(b))
-	} else {
-		clear(p.keepScratch)
-	}
-	keep := p.keepScratch
+	keep := &p.keepScratch
+	keep.reset()
 	for _, f := range sel.Files {
-		keep[f] = true
+		keep.add(f)
 	}
 	for _, f := range b {
-		keep[f] = true
+		keep.add(f)
 	}
 
 	p.residentScratch = p.cache.ResidentAppend(p.residentScratch[:0])
 	p.evictScratch = p.evictScratch[:0]
 	evictable := p.evictScratch
 	for _, f := range p.residentScratch {
-		if !keep[f] && !p.cache.Pinned(f) {
+		if !keep.has(f) && !p.cache.Pinned(f) {
 			evictable = append(evictable, f)
 		}
 	}
@@ -340,7 +344,8 @@ func (p *OptFileBundle) replace(b bundle.Bundle, needed bundle.Size) {
 // Select inputs and runs OptCacheSelect with the incoming bundle's space
 // reserved (Free = b, capacity reduced by s(F(b))).
 func (p *OptFileBundle) runSelection(b bundle.Bundle) Selection {
-	entries := p.hist.Candidates()
+	p.entriesScratch = p.hist.CandidatesAppend(p.entriesScratch[:0])
+	entries := p.entriesScratch
 	if p.opts.History.Truncation == history.CacheResident {
 		// §5.3: offer only the requests the cache currently supports (plus
 		// whatever overlaps the incoming bundle, which is Free anyway).
@@ -427,12 +432,22 @@ func (p *OptFileBundle) evictLazy(evictable bundle.Bundle, needed bundle.Size) {
 		return
 	}
 	deg := p.hist.DegreeFunc()
-	sort.Slice(evictable, func(i, j int) bool {
-		di, dj := deg(evictable[i]), deg(evictable[j])
-		if di != dj {
-			return di < dj
+	// slices.SortFunc, not sort.Slice: the reflection-based swapper
+	// allocates per eviction round. The (degree, ID) key is a total order,
+	// so the sort's instability cannot introduce nondeterminism.
+	slices.SortFunc(evictable, func(a, b bundle.FileID) int {
+		da, db := deg(a), deg(b)
+		switch {
+		case da < db:
+			return -1
+		case da > db:
+			return 1
+		case a < b:
+			return -1
+		case a > b:
+			return 1
 		}
-		return evictable[i] < evictable[j]
+		return 0
 	})
 	for _, f := range evictable {
 		if p.cache.Free() >= needed {
@@ -449,18 +464,30 @@ func (p *OptFileBundle) evictLazy(evictable bundle.Bundle, needed bundle.Size) {
 // first, until `needed` bytes are free. This only triggers when pins
 // prevented normal replacement.
 func (p *OptFileBundle) shedKeep(b bundle.Bundle, needed bundle.Size) {
-	inB := make(map[bundle.FileID]bool, len(b))
-	for _, f := range b {
-		inB[f] = true
-	}
-	resident := p.cache.Resident()
+	p.residentScratch = p.cache.ResidentAppend(p.residentScratch[:0])
+	resident := p.residentScratch
 	deg := p.hist.DegreeFunc()
-	sort.Slice(resident, func(i, j int) bool { return deg(resident[i]) < deg(resident[j]) })
+	// The ID tie-break makes the (degree, ID) key a total order, so the
+	// shed sequence is deterministic even under equal degrees.
+	slices.SortFunc(resident, func(a, b bundle.FileID) int {
+		da, db := deg(a), deg(b)
+		switch {
+		case da < db:
+			return -1
+		case da > db:
+			return 1
+		case a < b:
+			return -1
+		case a > b:
+			return 1
+		}
+		return 0
+	})
 	for _, f := range resident {
 		if p.cache.Free() >= needed {
 			return
 		}
-		if inB[f] || p.cache.Pinned(f) {
+		if b.Contains(f) || p.cache.Pinned(f) {
 			continue
 		}
 		if err := p.cache.Evict(f); err == nil {

@@ -20,7 +20,6 @@ import (
 	"sort"
 
 	"fbcache/internal/bundle"
-	"fbcache/internal/floats"
 	"fbcache/internal/invariant"
 )
 
@@ -110,13 +109,15 @@ func SelectSeeded(cands []Candidate, capacity bundle.Size, k int, opts SelectOpt
 // selectSeededScratch is SelectSeeded against caller-held scratch; one
 // resortState serves the unseeded baseline and every seed trial.
 func selectSeededScratch(s *resortState, cands []Candidate, capacity bundle.Size, k int, opts SelectOptions) Selection {
-	best := selectScratch(s, cands, capacity, opts)
+	best := cloneSelection(selectScratch(s, cands, capacity, opts))
 	if k <= 0 {
 		return best
 	}
+	// Every trial reuses s, so a kept Selection must be deep-copied before
+	// the next run overwrites the scratch it aliases.
 	consider := func(sel Selection, ok bool) {
 		if ok && sel.Value > best.Value {
-			best = sel
+			best = cloneSelection(sel)
 		}
 	}
 	// k = 1 seeds. selectWithSeeds only reads the seed slice, so one scratch
@@ -146,17 +147,34 @@ func selectWithSeeds(s *resortState, cands []Candidate, capacity bundle.Size, op
 	if sel.Chosen == nil && len(seeds) > 0 {
 		return sel, false
 	}
-	// Verify all seeds made it (they might not fit).
-	chosen := make(map[int]bool, len(sel.Chosen))
-	for _, i := range sel.Chosen {
-		chosen[i] = true
-	}
-	for _, s := range seeds {
-		if !chosen[s] {
+	// Verify all seeds made it (they might not fit). Chosen is small (and
+	// seeds is ≤ 2 in practice), so a linear scan beats a per-trial map.
+	for _, sd := range seeds {
+		found := false
+		for _, i := range sel.Chosen {
+			if i == sd {
+				found = true
+				break
+			}
+		}
+		if !found {
 			return sel, false
 		}
 	}
 	return sel, true
+}
+
+// cloneSelection deep-copies a Selection whose Chosen and Files alias
+// selector scratch, so it stays valid across later runs on the same state.
+// The nil-Chosen seed-failure sentinel is preserved.
+func cloneSelection(sel Selection) Selection {
+	if sel.Chosen != nil {
+		sel.Chosen = append([]int(nil), sel.Chosen...)
+	}
+	if sel.Files != nil {
+		sel.Files = sel.Files.Clone()
+	}
+	return sel
 }
 
 // adjustedDenominator computes Σ s'(f) over files of b not in skip,
@@ -318,11 +336,21 @@ func selectResortReference(cands []Candidate, capacity bundle.Size, opts SelectO
 			if denom > 0 {
 				v = c.Value / denom
 			}
-			// Tolerant comparison: v is a quotient of sums, so two candidates
-			// with mathematically equal rank can differ in the last ulps.
-			// Exact == here would let rounding noise decide ties.
-			if bestIdx < 0 || floats.Greater(v, bestV) ||
-				(floats.AlmostEqual(v, bestV) && c.Value > cands[bestIdx].Value) {
+			// Exact total order — v'(r) descending, v(r) descending, index
+			// ascending (the scan order makes the index tie-break implicit).
+			// This is the same comparator the incremental heap uses (better,
+			// rankheap.go): a heap needs a strict weak order, which a tolerant
+			// epsilon comparison cannot provide, and both implementations
+			// compute denom with the identical float-operation sequence, so
+			// their keys — and therefore their picks — match bit for bit.
+			switch {
+			case bestIdx < 0:
+				bestIdx, bestV = i, v
+			case v > bestV:
+				bestIdx, bestV = i, v
+			case v < bestV:
+				// keep current best
+			case c.Value > cands[bestIdx].Value:
 				bestIdx, bestV = i, v
 			}
 		}

@@ -12,7 +12,7 @@ package history
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"fbcache/internal/bundle"
 	"fbcache/internal/floats"
@@ -77,17 +77,40 @@ type History struct {
 	cfg     Config
 	entries map[string]*Entry
 	order   []*Entry // insertion/recency bookkeeping for Window truncation
-	degree  map[bundle.FileID]int
 	clock   uint64
+
+	// degree is d(f) stored densely, indexed by FileID. Catalog IDs are
+	// sequential small integers, so a slice turns the per-file degree lookup
+	// on the selection hot path (every s'(f) = s(f)/d(f) term) from a map
+	// probe into a bounds-checked load. Entries at or past len(degree) have
+	// degree 0 (never seen).
+	degree []int32
+
+	// keyBuf is the scratch key buffer: lookups probe entries with
+	// string(keyBuf) (a no-copy map access), and only inserts materialize
+	// the string. dropScratch backs Decay's forget list. degFn is the one
+	// DegreeFunc closure, built once so per-admission callers do not
+	// allocate a fresh closure per call.
+	keyBuf      []byte
+	dropScratch []bundle.Bundle
+	degFn       func(bundle.FileID) int
 }
 
 // New returns an empty history with the given configuration.
 func New(cfg Config) *History {
-	return &History{
+	h := &History{
 		cfg:     cfg,
 		entries: make(map[string]*Entry),
-		degree:  make(map[bundle.FileID]int),
 	}
+	h.degFn = func(f bundle.FileID) int {
+		if i := int(f); i < len(h.degree) {
+			if d := h.degree[i]; d > 0 {
+				return int(d)
+			}
+		}
+		return 1
+	}
+	return h
 }
 
 // Observe records one occurrence of b, incrementing its value by one, and
@@ -101,14 +124,14 @@ func (h *History) Observe(b bundle.Bundle) *Entry {
 // supporting priority-weighted requests.
 func (h *History) ObserveValued(b bundle.Bundle, delta float64) *Entry {
 	h.clock++
-	key := b.Key()
-	e, ok := h.entries[key]
+	h.keyBuf = b.AppendKey(h.keyBuf[:0])
+	e, ok := h.entries[string(h.keyBuf)]
 	if !ok {
 		e = &Entry{Bundle: b.Clone()}
-		h.entries[key] = e
+		h.entries[string(h.keyBuf)] = e
 		h.order = append(h.order, e)
 		for _, f := range e.Bundle {
-			h.degree[f]++
+			h.degreeAdd(f, 1)
 		}
 	}
 	e.Value += delta
@@ -119,7 +142,8 @@ func (h *History) ObserveValued(b bundle.Bundle, delta float64) *Entry {
 
 // Lookup returns the entry for b, if any.
 func (h *History) Lookup(b bundle.Bundle) (*Entry, bool) {
-	e, ok := h.entries[b.Key()]
+	h.keyBuf = b.AppendKey(h.keyBuf[:0])
+	e, ok := h.entries[string(h.keyBuf)]
 	return e, ok
 }
 
@@ -131,55 +155,101 @@ func (h *History) Clock() uint64 { return h.clock }
 
 // Degree reports d(f): the number of distinct historical requests using f.
 // Files never seen have degree 0.
-func (h *History) Degree(f bundle.FileID) int { return h.degree[f] }
+func (h *History) Degree(f bundle.FileID) int {
+	if i := int(f); i < len(h.degree) {
+		return int(h.degree[i])
+	}
+	return 0
+}
+
+// degreeAdd adjusts d(f) by delta, growing the dense table on first sight of
+// a new FileID and clamping at zero so an unmatched Forget cannot drive a
+// degree negative.
+func (h *History) degreeAdd(f bundle.FileID, delta int32) {
+	i := int(f)
+	if i >= len(h.degree) {
+		h.degree = append(h.degree, make([]int32, i+1-len(h.degree))...)
+	}
+	if h.degree[i] += delta; h.degree[i] < 0 {
+		h.degree[i] = 0
+	}
+}
 
 // DegreeFunc returns the degree lookup as a closure, with a floor of 1 so the
-// adjusted size s'(f) = s(f)/d(f) is defined even for unseen files.
+// adjusted size s'(f) = s(f)/d(f) is defined even for unseen files. The same
+// closure is returned on every call (it reads the live degree table), so
+// per-admission callers allocate nothing.
 func (h *History) DegreeFunc() func(bundle.FileID) int {
-	return func(f bundle.FileID) int {
-		if d := h.degree[f]; d > 0 {
-			return d
-		}
-		return 1
-	}
+	return h.degFn
 }
 
 // MaxDegree reports d = max_f d(f), the constant in the paper's
 // (1 − e^{−1/d}) approximation bound.
 func (h *History) MaxDegree() int {
-	max := 0
+	max := int32(0)
 	for _, d := range h.degree {
 		if d > max {
 			max = d
 		}
 	}
-	return max
+	return int(max)
 }
 
 // Candidates returns the entries offered to the selection algorithm under
 // the configured truncation, in unspecified order. The returned slice is
 // freshly allocated; entries are shared (do not mutate).
 func (h *History) Candidates() []*Entry {
-	all := make([]*Entry, 0, len(h.order))
-	all = append(all, h.order...)
+	return h.CandidatesAppend(make([]*Entry, 0, len(h.order)))
+}
+
+// CandidatesAppend appends the truncated candidate set to dst and returns
+// the extended slice — the allocation-free form of Candidates for
+// per-admission callers (OptFileBundle) that reuse a scratch slice. Entries
+// are shared (do not mutate).
+func (h *History) CandidatesAppend(dst []*Entry) []*Entry {
+	n := len(dst)
+	dst = append(dst, h.order...)
+	all := dst[n:]
 	limit := h.cfg.Limit
 	if limit <= 0 || limit >= len(all) || h.cfg.Truncation == Full {
-		return all
+		return dst
 	}
 	switch h.cfg.Truncation {
 	case Window:
-		sort.Slice(all, func(i, j int) bool { return all[i].LastSeen > all[j].LastSeen })
-	case TopValue:
-		sort.Slice(all, func(i, j int) bool {
-			// Decay multiplies values, so equal popularities can differ by
-			// round-off; epsilon-compare so recency decides genuine ties.
-			if !floats.AlmostEqual(all[i].Value, all[j].Value) {
-				return all[i].Value > all[j].Value
+		// slices.SortFunc, not sort.Slice: the reflection-based swapper
+		// allocates per admission. LastSeen is unique (one clock tick per
+		// observation), so the comparator is total and the sort's
+		// instability cannot reorder equals.
+		slices.SortFunc(all, func(a, b *Entry) int {
+			switch {
+			case a.LastSeen > b.LastSeen:
+				return -1
+			case a.LastSeen < b.LastSeen:
+				return 1
 			}
-			return all[i].LastSeen > all[j].LastSeen
+			return 0
+		})
+	case TopValue:
+		slices.SortFunc(all, func(a, b *Entry) int {
+			// Decay multiplies values, so equal popularities can differ by
+			// round-off; epsilon-compare so recency decides genuine ties
+			// (LastSeen is unique, making the order total).
+			if !floats.AlmostEqual(a.Value, b.Value) {
+				if a.Value > b.Value {
+					return -1
+				}
+				return 1
+			}
+			switch {
+			case a.LastSeen > b.LastSeen:
+				return -1
+			case a.LastSeen < b.LastSeen:
+				return 1
+			}
+			return 0
 		})
 	}
-	return all[:limit]
+	return dst[:n+limit]
 }
 
 // CandidateDegreeFunc returns the degree function the selection algorithm
@@ -212,8 +282,10 @@ func (h *History) Decay(factor, floor float64) {
 	if factor <= 0 || factor > 1 {
 		panic(fmt.Sprintf("history: decay factor %v outside (0,1]", factor))
 	}
-	var drop []bundle.Bundle
-	for _, e := range h.entries {
+	drop := h.dropScratch[:0]
+	// Walk the order slice, not the entries map: the forget sequence below
+	// edits h.order, so it must not depend on map iteration order.
+	for _, e := range h.order {
 		e.Value *= factor
 		if e.Value < floor {
 			drop = append(drop, e.Bundle)
@@ -222,21 +294,20 @@ func (h *History) Decay(factor, floor float64) {
 	for _, b := range drop {
 		h.Forget(b)
 	}
+	h.dropScratch = drop[:0]
 }
 
 // Forget removes b from the history entirely, decrementing file degrees.
 // It reports whether the entry existed. Used by bounded-memory deployments.
 func (h *History) Forget(b bundle.Bundle) bool {
-	key := b.Key()
-	e, ok := h.entries[key]
+	h.keyBuf = b.AppendKey(h.keyBuf[:0])
+	e, ok := h.entries[string(h.keyBuf)]
 	if !ok {
 		return false
 	}
-	delete(h.entries, key)
+	delete(h.entries, string(h.keyBuf))
 	for _, f := range e.Bundle {
-		if h.degree[f]--; h.degree[f] <= 0 {
-			delete(h.degree, f)
-		}
+		h.degreeAdd(f, -1)
 	}
 	for i, o := range h.order {
 		if o == e {
@@ -250,7 +321,7 @@ func (h *History) Forget(b bundle.Bundle) bool {
 // Reset clears all state.
 func (h *History) Reset() {
 	h.entries = make(map[string]*Entry)
-	h.degree = make(map[bundle.FileID]int)
+	clear(h.degree)
 	h.order = h.order[:0]
 	h.clock = 0
 }

@@ -38,8 +38,13 @@ type Landlord struct {
 
 	// evictScratch backs evictableOutside's result; Step 3 rebuilds it every
 	// decay-and-evict round, so reusing one slice keeps the eviction loop
-	// allocation-free in steady state.
-	evictScratch bundle.Bundle
+	// allocation-free in steady state. missScratch, loadedScratch and
+	// evictedScratch back the per-admission missing list and the returned
+	// Result's Loaded/Evicted (which alias them — see policy.Result).
+	evictScratch   bundle.Bundle
+	missScratch    bundle.Bundle
+	loadedScratch  []bundle.FileID
+	evictedScratch []bundle.FileID
 }
 
 // New returns a Landlord policy with cost(f) = size(f).
@@ -144,8 +149,11 @@ func (l *Landlord) Admit(b bundle.Bundle) policy.Result {
 		return res
 	}
 
-	missing := l.cache.Missing(b)
+	l.missScratch = l.cache.MissingAppend(l.missScratch[:0], b)
+	missing := l.missScratch
 	needed := missing.TotalSize(l.sizeOf)
+	l.loadedScratch = l.loadedScratch[:0]
+	l.evictedScratch = l.evictedScratch[:0]
 
 	// Step 3: decay-and-evict until the missing files fit.
 	for l.cache.Free() < needed {
@@ -188,7 +196,7 @@ func (l *Landlord) Admit(b bundle.Bundle) policy.Result {
 				if err := l.cache.Evict(f); err == nil {
 					delete(l.credits, f)
 					res.FilesEvicted++
-					res.Evicted = append(res.Evicted, f)
+					l.evictedScratch = append(l.evictedScratch, f)
 					evicted = true
 				}
 			}
@@ -207,7 +215,7 @@ func (l *Landlord) Admit(b bundle.Bundle) policy.Result {
 			}
 			delete(l.credits, victim)
 			res.FilesEvicted++
-			res.Evicted = append(res.Evicted, victim)
+			l.evictedScratch = append(l.evictedScratch, victim)
 		}
 	}
 
@@ -219,14 +227,17 @@ func (l *Landlord) Admit(b bundle.Bundle) policy.Result {
 		}
 		res.FilesLoaded++
 		res.BytesLoaded += l.sizeOf(f)
-		res.Loaded = append(res.Loaded, f)
+		l.loadedScratch = append(l.loadedScratch, f)
 	}
 	for _, f := range b {
 		if l.cache.Contains(f) {
 			l.resetCredit(f)
 		}
 	}
-	res.Evicted = bundle.FromSlice(res.Evicted)
+	// FromSlice canonicalizes the scratch in place — no copy; the Result's
+	// Loaded/Evicted are valid until the next Admit (policy.Result docs).
+	res.Loaded = bundle.FromSlice(l.loadedScratch)
+	res.Evicted = bundle.FromSlice(l.evictedScratch)
 	if l.tracer != nil {
 		l.emitAdmit(res, len(b))
 	}

@@ -25,8 +25,12 @@ type Result struct {
 	FilesEvicted   int
 	Unserviceable  bool
 	// Loaded lists the files fetched by this admission, for timed simulators.
+	// It may alias per-policy scratch: valid until the next Admit on the same
+	// policy. Callers that retain it across admissions must Clone (the SRM
+	// layer does; the simulators consume it within the admission).
 	Loaded bundle.Bundle
 	// Evicted lists the files pushed out, for store-backed deployments.
+	// Same scratch lifetime as Loaded.
 	Evicted bundle.Bundle
 }
 

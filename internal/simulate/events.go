@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"fbcache/internal/bundle"
 	"fbcache/internal/faults"
@@ -431,6 +432,64 @@ type eventQueue struct {
 
 func (q *eventQueue) len() int { return len(q.ev) }
 
+// running is the in-flight record of one dispatched job: what RunEvents
+// needs at completion time to unpin, account and emit the JobServed event.
+type running struct {
+	bundleRef bundle.Bundle
+	arrival   float64
+	jobIdx    int  // index into jobs, for trace events
+	hit       bool // request-hit on this (final) dispatch
+	// localServe is the recovery tracker's health flag: the job was
+	// served from the cache or staged entirely from the local site —
+	// nothing crossed the WAN.
+	localServe bool
+	staged     float64 // when the bundle was fully staged
+	loaded     bundle.Size
+}
+
+// runScratch is the pooled per-run storage of RunEvents (DESIGN.md §13):
+// the event array, the per-job tables, the FIFO, and the response/staging
+// records. One run owns one instance for its whole duration and returns it
+// emptied, so sweeps and benchmarks that call RunEvents in a loop stop
+// paying the per-run slice and map churn that used to dominate the
+// allocation profile.
+type runScratch struct {
+	ev         []event
+	arrivals   []float64
+	waiting    []int
+	responses  []float64
+	stagings   []float64
+	attempts   []int
+	firstStage []float64
+	inFlight   map[int]running
+	restage    map[int]bundle.Bundle
+}
+
+// runPool recycles runScratch instances across RunEvents calls.
+var runPool = sync.Pool{New: func() any {
+	return &runScratch{
+		inFlight: make(map[int]running),
+		restage:  make(map[int]bundle.Bundle),
+	}
+}}
+
+// getRunScratch returns pooled run storage with the indexed per-job tables
+// sized for n jobs (attempts zeroed; firstStage left for the caller's -1
+// fill) and every append-driven slice empty.
+func getRunScratch(n int) *runScratch {
+	sc := runPool.Get().(*runScratch)
+	if cap(sc.attempts) < n {
+		sc.attempts = make([]int, n)
+	}
+	sc.attempts = sc.attempts[:n]
+	clear(sc.attempts)
+	if cap(sc.firstStage) < n {
+		sc.firstStage = make([]float64, n)
+	}
+	sc.firstStage = sc.firstStage[:n]
+	return sc
+}
+
 // push inserts e, sifting it up. One push happens per simulated event, so it
 // carries perf contracts (the sift holds e and shifts parents down, which
 // performs the same comparisons as container/heap's swap loop and leaves the
@@ -582,37 +641,29 @@ func RunEvents(w *workload.Workload, p policy.Policy, opts EventOptions) (EventS
 	sizeOf := w.Catalog.SizeFunc()
 	capacity := p.Cache().Capacity()
 
+	// Per-run bookkeeping comes from the run-scratch pool (see runScratch):
+	// repeated runs — sweeps, benchmarks, srmbench load loops — reuse the
+	// event array, the per-job tables and the response/staging records
+	// instead of reallocating them per run.
+	sc := getRunScratch(len(jobs))
+
 	// Pre-draw arrival times.
-	arrivals := make([]float64, len(jobs))
+	arrivals := sc.arrivals
 	t := 0.0
-	for i := range arrivals {
+	for range jobs {
 		t += rng.ExpFloat64() / opts.ArrivalRate
-		arrivals[i] = t
+		arrivals = append(arrivals, t)
 	}
-
-	type running struct {
-		bundleRef bundle.Bundle
-		arrival   float64
-		jobIdx    int  // index into jobs, for trace events
-		hit       bool // request-hit on this (final) dispatch
-		// localServe is the recovery tracker's health flag: the job was
-		// served from the cache or staged entirely from the local site —
-		// nothing crossed the WAN.
-		localServe bool
-		staged     float64 // when the bundle was fully staged
-		loaded     bundle.Size
-	}
-
 	var (
 		h           eventQueue
-		waiting     []int // job indices queued for a slot, FIFO
-		inFlight    = make(map[int]running)
+		waiting     = sc.waiting
+		inFlight    = sc.inFlight
 		nextHandle  int
 		slotsFree   = opts.Slots
 		pinnedBytes bundle.Size
 
-		responses = make([]float64, 0, len(jobs))
-		stagings  = make([]float64, 0, len(jobs))
+		responses = sc.responses
+		stagings  = sc.stagings
 		hits      int64
 		bytesReq  bundle.Size
 		bytesMiss bundle.Size
@@ -624,13 +675,27 @@ func RunEvents(w *workload.Workload, p policy.Policy, opts EventOptions) (EventS
 		// staging don't distort the demand-side stats; restage carries the
 		// files a failed attempt loaded but never finished transferring, so
 		// the retry stages them again even though they look resident.
-		attempts = make([]int, len(jobs))
-		restage  = make(map[int]bundle.Bundle)
+		attempts = sc.attempts
+		restage  = sc.restage
 		// firstStage records when each job first won a slot (its bundle's
 		// first Admit); requeued attempts keep the original stamp so the
 		// JobServed critical path separates queue wait from retry churn.
-		firstStage = make([]float64, len(jobs))
+		firstStage = sc.firstStage
 	)
+	h.ev = sc.ev
+	defer func() {
+		// Return the (possibly grown) backing storage to the pool, emptied.
+		sc.ev = h.ev[:0]
+		sc.arrivals = arrivals[:0]
+		sc.waiting = waiting[:0]
+		sc.responses = responses[:0]
+		sc.stagings = stagings[:0]
+		sc.attempts = attempts[:0]
+		sc.firstStage = firstStage[:0]
+		clear(sc.inFlight)
+		clear(sc.restage)
+		runPool.Put(sc)
+	}()
 	for i := range firstStage {
 		firstStage[i] = -1
 	}
@@ -639,7 +704,6 @@ func RunEvents(w *workload.Workload, p policy.Policy, opts EventOptions) (EventS
 	// All arrivals are known up front; one backing array sized for them plus
 	// the in-flight completions and the single pending replan epoch serves
 	// the whole run.
-	h.ev = make([]event, 0, len(jobs)+opts.Slots+2)
 	for i := range jobs {
 		h.push(event{at: arrivals[i], kind: evArrival, job: i})
 	}
@@ -751,7 +815,9 @@ func RunEvents(w *workload.Workload, p policy.Policy, opts EventOptions) (EventS
 					}
 					// Staging abandoned: hold the slot until the failure is
 					// discovered, then requeue or fail the job from evFailed.
-					restage[j] = toStage
+					// Clone: toStage may alias the policy's Result scratch,
+					// which the next Admit overwrites.
+					restage[j] = toStage.Clone()
 					slotsFree--
 					h.push(event{at: out.at, kind: evFailed, job: j})
 					continue

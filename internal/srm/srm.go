@@ -151,6 +151,15 @@ func (s *SRM) Stage(b bundle.Bundle) (Release, policy.Result, error) {
 	}
 
 	res := s.pol.Admit(b)
+	// Result.Loaded/Evicted alias policy scratch valid only until the next
+	// Admit; this res outlives the lock (it is returned to the caller), so
+	// detach it while still serialized against other admissions.
+	if len(res.Loaded) > 0 {
+		res.Loaded = res.Loaded.Clone()
+	}
+	if len(res.Evicted) > 0 {
+		res.Evicted = res.Evicted.Clone()
+	}
 	s.col.Record(res)
 	if res.Unserviceable {
 		return nil, res, ErrTooLarge
