@@ -7,7 +7,7 @@ GO ?= go
 #   make fuzz FUZZTIME=5m
 FUZZTIME ?= 30s
 
-.PHONY: all build test test-invariant lint vet fbvet sarif doc-lint perfgate perfgate-sarif race bench bench-guard bench-json bench-require bench-compare bench-json-replicate bench-require-replicate trace-check fuzz soak clean
+.PHONY: all build test test-invariant lint vet fbvet sarif doc-lint perfgate perfgate-sarif race bench bench-guard bench-json bench-require bench-compare bench-json-replicate bench-require-replicate bench-srm bench-require-srm trace-check fuzz soak clean
 
 all: build lint test
 
@@ -80,6 +80,7 @@ bench:
 bench-guard:
 	$(GO) test -run '^$$' -bench 'BenchmarkOptCacheSelect' -benchmem -benchtime=100x ./internal/core/
 	$(GO) test -run '^$$' -bench 'BenchmarkLandlord$$' -benchmem -benchtime=100x ./internal/policy/landlord/
+	$(GO) test -run '^$$' -bench 'BenchmarkSpan(Disabled|Enabled|Promoted)' -benchmem -benchtime=100x ./internal/obs/span/
 
 # bench-json runs the core/landlord/simulate benchmarks and converts the
 # text output into schema-versioned JSON (BENCH_core.json) via benchjson —
@@ -138,6 +139,29 @@ bench-require-replicate:
 		-benchmem -benchtime=100x ./internal/replicate/ \
 		| $(GO) run ./cmd/benchjson -require Plan -require PredictorObserve -require Replan \
 			-baseline BENCH_replicate.json -max-ns-ratio $(NSRATIO) -max-alloc-ratio 1.01 -out /dev/null
+
+# bench-srm snapshots the serving path's closed-loop latency SLO point into
+# BENCH_srm_latency.json: srmbench drives an in-process SRM server (span
+# flight recorder attached) over loopback TCP and reports the
+# client-observed stage+release p50/p99 and throughput as go-bench lines
+# that benchjson converts. Regenerate when a serving-path change moves the
+# quantiles intentionally.
+bench-srm:
+	$(GO) run ./cmd/srmbench -self -latency -clients 4 -jobs 50 \
+		| $(GO) run ./cmd/benchjson -require SRMStageP50 -require SRMStageP99 -require SRMThroughput \
+			-out BENCH_srm_latency.json
+	@echo wrote BENCH_srm_latency.json
+
+# bench-require-srm re-runs the latency bench and gates only on presence
+# against the checked-in BENCH_srm_latency.json: every baseline quantile
+# must still be emitted (a run that silently lost the SLO numbers fails).
+# Wall-clock quantiles over loopback TCP on shared runners are far too
+# noisy for a ratio gate, so the timing comparison stays off (-max-ns-ratio
+# 0); trend review happens on the checked-in trajectory instead.
+bench-require-srm:
+	$(GO) run ./cmd/srmbench -self -latency -clients 4 -jobs 50 \
+		| $(GO) run ./cmd/benchjson -require SRMStageP50 -require SRMStageP99 -require SRMThroughput \
+			-baseline BENCH_srm_latency.json -max-ns-ratio 0 -out /dev/null
 
 # trace-check replays the golden event trace through the offline validator:
 # reconstructed residency must satisfy the cache invariants at the golden

@@ -18,6 +18,10 @@
 //	fbtrace diff [-lenient] a.jsonl b.jsonl
 //	    First diverging event, per-kind counts, and stat deltas between two
 //	    traces (exit 1 when they differ, diff(1)-style).
+//	fbtrace spans [-lenient] [-top K] [-trees] flight.jsonl
+//	    Per-op latency table (p50/p90/p99/max from exact durations), the
+//	    slowest requests, and reconstructed request trees from the span
+//	    events dumped by the flight recorder (srmd -flight-out).
 package main
 
 import (
@@ -27,9 +31,11 @@ import (
 	"math"
 	"os"
 	"sort"
+	"time"
 
 	"fbcache/internal/obs"
 	"fbcache/internal/obs/analyze"
+	"fbcache/internal/obs/span"
 	"fbcache/internal/obs/traceio"
 )
 
@@ -44,6 +50,7 @@ commands:
   validate       replay the trace and re-check cache invariants offline
   critical-path  per-job queue/transfer/process breakdown, slowest jobs
   diff           compare two traces event-by-event (exit 1 when they differ)
+  spans          per-op latency table, slowest requests, request trees
 
 fbtrace reads event traces (cachesim -trace-out); for workload traces
 (tracegen output) use traceinfo.
@@ -67,6 +74,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return runCritical(rest, stdout, stderr)
 	case "diff":
 		return runDiff(rest, stdout, stderr)
+	case "spans":
+		return runSpans(rest, stdout, stderr)
 	case "-h", "-help", "--help", "help":
 		fmt.Fprint(stdout, usageText)
 		return 0
@@ -265,6 +274,87 @@ func fmtFiles(files []int64) string {
 		out += fmt.Sprintf("%d", f)
 	}
 	return out
+}
+
+func runSpans(args []string, stdout, stderr io.Writer) int {
+	var lenient bool
+	fs := newFlagSet("spans", stderr, &lenient)
+	top := fs.Int("top", 10, "slowest requests to list")
+	trees := fs.Bool("trees", false, "print every reconstructed request tree")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: fbtrace spans [-lenient] [-top K] [-trees] <trace.jsonl>")
+		return 2
+	}
+	events, err := load(fs.Arg(0), lenient, stderr)
+	if err != nil {
+		fmt.Fprintf(stderr, "fbtrace: %v\n", err)
+		return 1
+	}
+	rep := analyze.Spans(events, *top)
+	fmt.Fprintf(stdout, "%s: %d span(s) in %d request(s)\n", fs.Arg(0), rep.Spans, rep.Requests)
+	if rep.Spans == 0 {
+		return 0
+	}
+
+	fmt.Fprintln(stdout, "\nper-op latency (wall clock):")
+	fmt.Fprintf(stdout, "  %-14s %7s %7s %12s %12s %12s %12s\n",
+		"op", "count", "errors", "p50", "p90", "p99", "max")
+	for _, o := range rep.Ops {
+		fmt.Fprintf(stdout, "  %-14s %7d %7d %12s %12s %12s %12s\n",
+			o.Op, o.Count, o.Errors, fmtDur(o.P50), fmtDur(o.P90), fmtDur(o.P99), fmtDur(o.Max))
+	}
+
+	fmt.Fprintf(stdout, "\nslowest %d request(s):\n", len(rep.Slowest))
+	fmt.Fprintf(stdout, "  %8s %-14s %12s %6s  %s\n", "req", "op", "duration", "spans", "err")
+	for _, s := range rep.Slowest {
+		errs := s.Err
+		if errs == "" {
+			errs = "-"
+		}
+		fmt.Fprintf(stdout, "  %8d %-14s %12s %6d  %s\n", s.Req, s.Op, fmtDur(s.DurSec), s.Spans, errs)
+	}
+
+	if *trees {
+		fmt.Fprintln(stdout, "\nrequest trees:")
+		for _, t := range rep.Trees {
+			printTree(stdout, t, 1)
+		}
+	}
+	return 0
+}
+
+// fmtDur renders a span duration in seconds as a human duration, rounded
+// to the microsecond so table columns stay narrow.
+func fmtDur(sec float64) string {
+	return time.Duration(sec * float64(time.Second)).Round(time.Microsecond).String()
+}
+
+// printTree renders one request tree, indenting two spaces per level; the
+// root line carries the request ID.
+func printTree(w io.Writer, n *span.Node, depth int) {
+	fmt.Fprintf(w, "%*s%s %s", depth*2, "", n.Op, fmtDur(n.DurSec))
+	if depth == 1 {
+		fmt.Fprintf(w, " (req %d)", n.Req)
+	}
+	if n.Bytes > 0 {
+		fmt.Fprintf(w, " bytes=%d", n.Bytes)
+	}
+	if n.Files > 0 {
+		fmt.Fprintf(w, " files=%d", n.Files)
+	}
+	if n.Hit {
+		fmt.Fprint(w, " hit")
+	}
+	if n.Err != "" {
+		fmt.Fprintf(w, " err=%s", n.Err)
+	}
+	fmt.Fprintln(w)
+	for _, c := range n.Children {
+		printTree(w, c, depth+1)
+	}
 }
 
 func runDiff(args []string, stdout, stderr io.Writer) int {

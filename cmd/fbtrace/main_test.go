@@ -6,6 +6,9 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
+
+	"fbcache/internal/obs/span"
 )
 
 const golden = "../../internal/simulate/testdata/golden_trace.jsonl"
@@ -30,10 +33,62 @@ func TestUsageAndHelp(t *testing.T) {
 		t.Errorf("help: code %d; usage must cross-reference traceinfo, got %q", code, stdout)
 	}
 	// Each subcommand rejects a missing positional argument.
-	for _, sub := range []string{"summary", "validate", "critical-path", "diff"} {
+	for _, sub := range []string{"summary", "validate", "critical-path", "diff", "spans"} {
 		if code, _, _ := exec(t, sub); code != 2 {
 			t.Errorf("%s with no file: code %d, want 2", sub, code)
 		}
+	}
+}
+
+// TestSpansSubcommand drives a real flight-recorder dump through the spans
+// analysis: an always-anomalous recorder records one request, the JSONL dump
+// is flushed, and the subcommand must reconstruct the latency table and tree.
+func TestSpansSubcommand(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "flight.jsonl")
+	sink, closer, err := span.FileDump(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := span.New(span.Options{
+		SlowThreshold: time.Nanosecond, // everything is anomalous
+		SampleEvery:   1 << 62,
+		Dump:          sink,
+		DumpCloser:    closer,
+	})
+	root := rec.StartRequest(span.Context{}, span.OpStage)
+	root.SetFiles(2)
+	child := rec.StartChild(root.Context(), span.OpStageAdmit)
+	child.SetBytes(4096)
+	child.Finish(span.ErrNone)
+	busy := rec.StartChild(root.Context(), span.OpStageWait)
+	busy.Finish(span.ErrBusy)
+	root.Finish(span.ErrBusy)
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	code, stdout, stderr := exec(t, "spans", "-trees", path)
+	if code != 0 {
+		t.Fatalf("code %d, stderr %q, stdout:\n%s", code, stderr, stdout)
+	}
+	for _, want := range []string{
+		"3 span(s) in 1 request(s)",
+		"per-op latency (wall clock):",
+		"stage.admit",
+		"slowest 1 request(s):",
+		"busy",
+		"request trees:",
+		"bytes=4096",
+	} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("spans output missing %q:\n%s", want, stdout)
+		}
+	}
+
+	// A trace without span events reports zero and exits clean.
+	code, stdout, _ = exec(t, "spans", golden)
+	if code != 0 || !strings.Contains(stdout, "0 span(s)") {
+		t.Errorf("spans on span-free trace: code %d, output:\n%s", code, stdout)
 	}
 }
 

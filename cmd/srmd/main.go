@@ -6,7 +6,12 @@
 // Server:
 //
 //	srmd -listen :7070 -cache-gb 10
-//	srmd -listen :7070 -debug-addr :7071   # adds /metrics, /debug/vars, /debug/pprof
+//	srmd -listen :7070 -debug-addr :7071   # adds /metrics, /debug/vars, /debug/pprof, /debug/flight
+//	srmd -listen :7070 -flight-out flight.jsonl -slow 50ms
+//
+// The server always runs a span flight recorder: every request is traced,
+// slow (-slow) or failed requests are kept at full fidelity and, with
+// -flight-out, dumped as JSONL for offline analysis (fbtrace spans).
 //
 // Client:
 //
@@ -33,6 +38,7 @@ import (
 	"fbcache/internal/core"
 	"fbcache/internal/history"
 	"fbcache/internal/obs"
+	"fbcache/internal/obs/span"
 	"fbcache/internal/policy"
 	"fbcache/internal/srm"
 )
@@ -51,12 +57,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		httpAddr  = fs.String("http", "", "also serve monitoring stats over HTTP on this address")
 		debugAddr = fs.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
 		cacheGB   = fs.Float64("cache-gb", 10, "cache size in GB (server)")
-		drain    = fs.Duration("drain", 5*time.Second, "graceful-shutdown drain deadline for in-flight connections (server)")
-		connect  = fs.String("connect", "", "act as a client of this server")
-		addfile  = fs.String("addfile", "", "client: register name:sizeBytes")
-		stage    = fs.String("stage", "", "client: stage comma-separated file names")
-		release  = fs.String("release", "", "client: release a stage token")
-		stats    = fs.Bool("stats", false, "client: print server statistics")
+		drain     = fs.Duration("drain", 5*time.Second, "graceful-shutdown drain deadline for in-flight connections (server)")
+		flightOut = fs.String("flight-out", "", "dump anomalous request spans to this JSONL file (server)")
+		slow      = fs.Duration("slow", 100*time.Millisecond, "requests at least this slow are kept at full fidelity (server)")
+		connect   = fs.String("connect", "", "act as a client of this server")
+		addfile   = fs.String("addfile", "", "client: register name:sizeBytes")
+		stage     = fs.String("stage", "", "client: stage comma-separated file names")
+		release   = fs.String("release", "", "client: release a stage token")
+		stats     = fs.Bool("stats", false, "client: print server statistics")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -64,7 +72,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	switch {
 	case *listen != "":
-		return runServer(*listen, *httpAddr, *debugAddr, *cacheGB, *drain, stdout, stderr)
+		return runServer(*listen, *httpAddr, *debugAddr, *cacheGB, *drain, *flightOut, *slow, stdout, stderr)
 	case *connect != "":
 		return runClient(*connect, *addfile, *stage, *release, *stats, stdout, stderr)
 	default:
@@ -77,18 +85,33 @@ func run(args []string, stdout, stderr io.Writer) int {
 // delivering a real signal to the test process.
 var testStop chan struct{}
 
-func runServer(addr, httpAddr, debugAddr string, cacheGB float64, drain time.Duration, stdout, stderr io.Writer) int {
+func runServer(addr, httpAddr, debugAddr string, cacheGB float64, drain time.Duration, flightOut string, slow time.Duration, stdout, stderr io.Writer) int {
 	cat := bundle.NewCatalog()
 	pol := policy.WrapOptFileBundle(core.New(
 		bundle.Size(cacheGB*float64(bundle.GB)), cat.SizeFunc(),
 		core.Options{History: history.Config{Truncation: history.CacheResident}},
 	))
-	service := srm.New(pol, cat)
+	// The flight recorder is always on (disabled spans would hide exactly
+	// the incidents it exists for); -flight-out adds the on-disk JSONL dump.
+	opts := span.Options{SlowThreshold: slow}
+	if flightOut != "" {
+		sink, closer, err := span.FileDump(flightOut)
+		if err != nil {
+			fmt.Fprintf(stderr, "srmd: flight dump: %v\n", err)
+			return 1
+		}
+		opts.Dump, opts.DumpCloser = sink, closer
+		fmt.Fprintf(stdout, "srmd: dumping anomalous request spans to %s (slow >= %v)\n", flightOut, slow)
+	}
+	rec := span.New(opts)
+	service := srm.New(pol, cat).WithSpans(rec)
 	server, err := srm.Serve(service, addr)
 	if err != nil {
 		fmt.Fprintf(stderr, "srmd: %v\n", err)
 		return 1
 	}
+	// Shutdown flushes the recorder's buffered dump after the drain window.
+	server.CloseOnShutdown(rec)
 	fmt.Fprintf(stdout, "srmd: serving OptFileBundle cache (%.1f GB) on %s\n", cacheGB, server.Addr())
 	if httpAddr != "" {
 		go func() {
@@ -109,9 +132,11 @@ func runServer(addr, httpAddr, debugAddr string, cacheGB float64, drain time.Dur
 			}
 			return 1
 		}
-		fmt.Fprintf(stdout, "srmd: debug endpoints (metrics, vars, pprof) at http://%s/\n", ln.Addr())
+		fmt.Fprintf(stdout, "srmd: debug endpoints (metrics, vars, pprof, flight) at http://%s/\n", ln.Addr())
+		mux := obs.DebugMux(srm.NewRegistry(service))
+		mux.Handle("/debug/flight", span.FlightHandler(rec))
 		go func() {
-			if err := http.Serve(ln, obs.DebugMux(srm.NewRegistry(service))); err != nil {
+			if err := http.Serve(ln, mux); err != nil {
 				// The listener dies with the process; report anything else.
 				fmt.Fprintf(stderr, "srmd: debug http: %v\n", err)
 			}

@@ -5,6 +5,7 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
@@ -116,10 +117,14 @@ func TestRunServerGracefulShutdown(t *testing.T) {
 
 	var out, errOut syncBuffer
 	done := make(chan int, 1)
+	// -slow 1ns keeps every request at full fidelity so /debug/flight and
+	// the -flight-out dump are deterministic.
+	flight := filepath.Join(t.TempDir(), "flight.jsonl")
 	go func() {
 		done <- run([]string{
 			"-listen", "127.0.0.1:0", "-debug-addr", "127.0.0.1:0",
 			"-cache-gb", "0.1", "-drain", "2s",
+			"-flight-out", flight, "-slow", "1ns",
 		}, &out, &errOut)
 	}()
 
@@ -181,6 +186,36 @@ func TestRunServerGracefulShutdown(t *testing.T) {
 			t.Errorf("/metrics missing %q:\n%s", want, scrape)
 		}
 	}
+	// The span telemetry rides on the same scrape.
+	for _, want := range []string{
+		`fbcache_op_latency_seconds_count{op="stage"} 1`,
+		`fbcache_op_errors_total{op="stage"} 0`,
+		"fbcache_flight_requests_total 3",
+		"fbcache_spans_inflight 0",
+	} {
+		if !strings.Contains(scrape, want) {
+			t.Errorf("/metrics missing span telemetry %q:\n%s", want, scrape)
+		}
+	}
+
+	// /debug/flight serves the kept requests as reconstructed span trees;
+	// the stage request carries its admit leg and bundle attributes.
+	flightBody := httpGet(t, debugURL+"debug/flight")
+	for _, want := range []string{
+		`"requests"`, `"op": "stage"`, `"op": "stage.admit"`,
+		`"files": 1`, `"bytes": 1024`, `"anomalies": 3`,
+	} {
+		if !strings.Contains(flightBody, want) {
+			t.Errorf("/debug/flight missing %q:\n%s", want, flightBody)
+		}
+	}
+	// CI uploads the flight snapshot as an artifact when this is set.
+	if dest := os.Getenv("SRMD_FLIGHT_OUT"); dest != "" {
+		if err := os.WriteFile(dest, []byte(flightBody), 0o644); err != nil {
+			t.Fatalf("writing flight artifact: %v", err)
+		}
+	}
+
 	// /debug/vars and pprof ride on the same mux.
 	for _, path := range []string{"/debug/vars", "/debug/pprof/cmdline"} {
 		resp, err := http.Get(debugURL + strings.TrimPrefix(path, "/"))
@@ -225,6 +260,43 @@ func TestRunServerGracefulShutdown(t *testing.T) {
 	if _, err := srm.Dial(addr); err == nil {
 		t.Error("server still accepting connections after shutdown")
 	}
+
+	// Shutdown flushed the flight recorder: the anomaly dump is on disk and
+	// every line is a span record (fbtrace spans consumes this file).
+	raw, err := os.ReadFile(flight)
+	if err != nil {
+		t.Fatalf("flight dump: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	if len(lines) < 3 {
+		t.Fatalf("flight dump has %d line(s), want >= 3 (addfile, stage, release):\n%s", len(lines), raw)
+	}
+	for _, line := range lines {
+		if !strings.HasPrefix(line, `{"kind":"span",`) {
+			t.Errorf("flight dump line is not a span record: %s", line)
+		}
+	}
+}
+
+// httpGet fetches a URL and returns the body, failing the test on any error
+// or non-200 status.
+func httpGet(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if cerr := resp.Body.Close(); cerr != nil {
+		t.Fatal(cerr)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	return string(body)
 }
 
 // scrapeMetrics GETs <base>metrics and returns the body.

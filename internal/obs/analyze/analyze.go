@@ -2,8 +2,10 @@
 // offline from JSONL event traces: a replay validator that reconstructs
 // cache residency and re-checks the internal/invariant properties after the
 // fact, residency/churn/hit-ratio summaries, per-job critical-path
-// breakdowns, and trace-vs-trace diffs. It consumes the typed events
-// decoded by internal/obs/traceio and is driven by cmd/fbtrace.
+// breakdowns, trace-vs-trace diffs, and per-op latency profiles over the
+// request-span telemetry dumped by the flight recorder. It consumes the
+// typed events decoded by internal/obs/traceio and is driven by
+// cmd/fbtrace.
 //
 // Time units: simulator-level events (stage, job_served) carry sim-time
 // seconds; policy- and cache-level events carry per-component ordinals that

@@ -1,0 +1,134 @@
+package analyze
+
+import (
+	"sort"
+
+	"fbcache/internal/obs"
+	"fbcache/internal/obs/span"
+	"fbcache/internal/obs/traceio"
+	"fbcache/internal/stats"
+)
+
+// OpLatency is one operation's latency profile over a span trace, computed
+// from the exact per-span durations (not histogram buckets). All times are
+// wall-clock seconds.
+type OpLatency struct {
+	Op     string
+	Count  int
+	Errors int
+	P50    float64
+	P90    float64
+	P99    float64
+	Max    float64
+}
+
+// SlowRequest ranks one request tree by its root span's duration.
+type SlowRequest struct {
+	Req    uint64
+	Op     string  // root span operation
+	DurSec float64 // root span duration, seconds
+	Err    string  // root span error code, "" on success
+	Spans  int     // spans in the tree, root included
+}
+
+// SpanReport aggregates the span events of one trace.
+type SpanReport struct {
+	Spans    int
+	Requests int           // reconstructed request trees
+	Ops      []OpLatency   // sorted by operation name
+	Slowest  []SlowRequest // topK slowest roots, slowest first
+	Trees    []*span.Node  // every request tree, oldest first
+}
+
+// Spans filters the span events out of a trace and aggregates them: per-op
+// latency quantiles over the exact durations, the topK slowest requests by
+// root-span duration, and the request trees reconstructed by span.Trees.
+// Non-span events are ignored, so a flight-recorder dump can interleave
+// with cache/simulator events in the same file. A request whose parent
+// span lives in another process's recorder surfaces as its own tree (see
+// span.Trees), so client- and server-side dumps analyzed separately each
+// yield complete listings.
+func Spans(events []traceio.Event, topK int) SpanReport {
+	if topK <= 0 {
+		topK = 10
+	}
+	var spans []obs.SpanEvent
+	for _, e := range events {
+		if ev, ok := e.Ev.(obs.SpanEvent); ok {
+			spans = append(spans, ev)
+		}
+	}
+	rep := SpanReport{Spans: len(spans)}
+	if len(spans) == 0 {
+		return rep
+	}
+
+	type acc struct {
+		durs   []float64
+		errors int
+	}
+	byOp := make(map[string]*acc)
+	for _, s := range spans {
+		a := byOp[s.Op]
+		if a == nil {
+			a = &acc{}
+			byOp[s.Op] = a
+		}
+		a.durs = append(a.durs, s.DurSec)
+		if s.Err != "" {
+			a.errors++
+		}
+	}
+	for op, a := range byOp {
+		var max float64
+		for _, d := range a.durs {
+			if d > max {
+				max = d
+			}
+		}
+		rep.Ops = append(rep.Ops, OpLatency{
+			Op:     op,
+			Count:  len(a.durs),
+			Errors: a.errors,
+			P50:    stats.Quantile(a.durs, 0.50),
+			P90:    stats.Quantile(a.durs, 0.90),
+			P99:    stats.Quantile(a.durs, 0.99),
+			Max:    max,
+		})
+	}
+	sort.Slice(rep.Ops, func(i, j int) bool { return rep.Ops[i].Op < rep.Ops[j].Op })
+
+	rep.Trees = span.Trees(spans)
+	rep.Requests = len(rep.Trees)
+	slow := make([]SlowRequest, 0, len(rep.Trees))
+	for _, t := range rep.Trees {
+		slow = append(slow, SlowRequest{
+			Req:    t.Req,
+			Op:     t.Op,
+			DurSec: t.DurSec,
+			Err:    t.Err,
+			Spans:  countNodes(t),
+		})
+	}
+	// Slowest first; request ID breaks ties so the listing is deterministic.
+	sort.SliceStable(slow, func(i, j int) bool {
+		if slow[i].DurSec != slow[j].DurSec { //fbvet:allow floateq — sort comparator needs a total order; tolerant ties are not transitive
+			return slow[i].DurSec > slow[j].DurSec
+		}
+		return slow[i].Req < slow[j].Req
+	})
+	if len(slow) > topK {
+		slow = slow[:topK]
+	}
+	rep.Slowest = slow
+	return rep
+}
+
+// countNodes counts a tree's spans, root included.
+func countNodes(n *span.Node) int {
+	total := 1
+	for _, c := range n.Children {
+		total += countNodes(c)
+	}
+	return total
+}

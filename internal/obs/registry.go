@@ -264,6 +264,34 @@ func (r *Registry) NewHistogram(name, help string, bounds []float64) *Histogram 
 	return h
 }
 
+// NewExpHistogram returns an unregistered histogram with n exponential
+// bucket bounds start, start*factor, start*factor², ... — the log-scale
+// layout latency distributions need, where fixed-width buckets would either
+// blur the fast path or truncate the tail. Quantile interpolation (see
+// Metric.Quantile) has constant relative error ≤ factor-1 on such a layout.
+// Panics unless start > 0, factor > 1 and n ≥ 1, which together guarantee
+// the strictly-increasing bounds NewHistogram requires.
+func NewExpHistogram(start, factor float64, n int) *Histogram {
+	if !(start > 0) {
+		panic(fmt.Sprintf("obs: exp histogram start %v, need > 0", start))
+	}
+	if !(factor > 1) {
+		panic(fmt.Sprintf("obs: exp histogram factor %v, need > 1", factor))
+	}
+	if n < 1 {
+		panic(fmt.Sprintf("obs: exp histogram needs n >= 1 buckets, got %d", n))
+	}
+	return NewHistogram(ExpBuckets(start, factor, n))
+}
+
+// NewExpHistogram registers and returns an exponential-bucket histogram
+// (see the package-level NewExpHistogram for the layout and validation).
+func (r *Registry) NewExpHistogram(name, help string, start, factor float64, n int) *Histogram {
+	h := NewExpHistogram(start, factor, n)
+	r.register(&metric{name: name, help: help, kind: KindHistogram, hist: h})
+	return h
+}
+
 // RegisterHistogram exposes an existing histogram (see the package-level
 // NewHistogram) under name. The registry holds a reference, not a copy:
 // observations made after registration show up in later snapshots.

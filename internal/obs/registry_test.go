@@ -240,3 +240,67 @@ func sortedFloats(v []float64) bool {
 	}
 	return true
 }
+
+func TestNewExpHistogram(t *testing.T) {
+	h := NewExpHistogram(0.001, 2, 10) // 1ms .. 512ms
+	want := ExpBuckets(0.001, 2, 10)
+	if !reflect.DeepEqual(h.bounds, want) {
+		t.Fatalf("bounds = %v, want %v", h.bounds, want)
+	}
+
+	// Quantile interpolation works over the log-scale layout: 100
+	// observations at exactly the k-th bound put the k/100-quantile on that
+	// bound (the estimator is exact on bucket edges).
+	for i := 0; i < 100; i++ {
+		h.Observe(want[i%len(want)])
+	}
+	if got := h.Quantile(1); got != want[len(want)-1] {
+		t.Errorf("Quantile(1) = %g, want %g", got, want[len(want)-1])
+	}
+	if got := h.Quantile(0.1); got != want[0] {
+		t.Errorf("Quantile(0.1) = %g, want %g", got, want[0])
+	}
+	// Mid-bucket values interpolate between adjacent bounds.
+	if got := h.Quantile(0.15); !(got > want[0] && got < want[1]) {
+		t.Errorf("Quantile(0.15) = %g, want inside (%g, %g)", got, want[0], want[1])
+	}
+
+	// The registered variant shows up in snapshots with the same layout.
+	r := NewRegistry()
+	rh := r.NewExpHistogram("exp_seconds", "help", 0.001, 2, 10)
+	rh.Observe(0.003)
+	m, ok := r.Snapshot().Get("exp_seconds")
+	if !ok || m.Kind != KindHistogram {
+		t.Fatalf("exp_seconds missing or wrong kind: %+v", m)
+	}
+	if len(m.Buckets) != 11 { // 10 bounds + implicit +Inf
+		t.Errorf("snapshot has %d buckets, want 11", len(m.Buckets))
+	}
+	if m.Count != 1 || m.Sum != 0.003 {
+		t.Errorf("count/sum = %d/%g, want 1/0.003", m.Count, m.Sum)
+	}
+}
+
+func TestNewExpHistogramPanics(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"zero start", func() { NewExpHistogram(0, 2, 4) }},
+		{"negative start", func() { NewExpHistogram(-1, 2, 4) }},
+		{"nan start", func() { NewExpHistogram(math.NaN(), 2, 4) }},
+		{"factor one", func() { NewExpHistogram(1, 1, 4) }},
+		{"shrinking factor", func() { NewExpHistogram(1, 0.5, 4) }},
+		{"zero buckets", func() { NewExpHistogram(1, 2, 0) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", tc.name)
+				}
+			}()
+			tc.fn()
+		})
+	}
+}

@@ -68,6 +68,9 @@ func (s *JSONLSink) JobServed(e JobServedEvent) { s.emit("job_served", e) }
 // ReplicaPlan implements Tracer.
 func (s *JSONLSink) ReplicaPlan(e ReplicaPlanEvent) { s.emit("replica_plan", e) }
 
+// Span implements Tracer.
+func (s *JSONLSink) Span(e SpanEvent) { s.emit("span", e) }
+
 // RingSink keeps the most recent capacity events in memory — a flight
 // recorder for tests and post-mortem inspection. Safe for concurrent use.
 //
@@ -193,6 +196,9 @@ func (r *RingSink) JobServed(e JobServedEvent) { r.push(e) }
 // ReplicaPlan implements Tracer.
 func (r *RingSink) ReplicaPlan(e ReplicaPlanEvent) { r.push(e) }
 
+// Span implements Tracer.
+func (r *RingSink) Span(e SpanEvent) { r.push(e) }
+
 // TraceStats aggregates event counts and headline byte totals.
 type TraceStats struct {
 	Admits       int64 `json:"admits"`
@@ -213,6 +219,10 @@ type TraceStats struct {
 	// BytesReplicated sums ReplicaPlanEvent.Bytes — the re-replication
 	// traffic the adaptive planner moved.
 	BytesReplicated int64 `json:"bytes_replicated"`
+	// Spans counts wall-clock request spans (see SpanEvent); SpanErrors is
+	// the subset that finished with a non-empty error class.
+	Spans      int64 `json:"spans"`
+	SpanErrors int64 `json:"span_errors"`
 }
 
 // StatsSink counts events without retaining them — the cheapest way to
@@ -306,6 +316,16 @@ func (s *StatsSink) ReplicaPlan(e ReplicaPlanEvent) {
 	s.st.BytesReplicated += e.Bytes
 }
 
+// Span implements Tracer.
+func (s *StatsSink) Span(e SpanEvent) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.st.Spans++
+	if e.Err != "" {
+		s.st.SpanErrors++
+	}
+}
+
 // MultiTracer fans every event out to each tracer in order.
 type MultiTracer []Tracer
 
@@ -362,5 +382,12 @@ func (m MultiTracer) JobServed(e JobServedEvent) {
 func (m MultiTracer) ReplicaPlan(e ReplicaPlanEvent) {
 	for _, t := range m {
 		t.ReplicaPlan(e)
+	}
+}
+
+// Span implements Tracer.
+func (m MultiTracer) Span(e SpanEvent) {
+	for _, t := range m {
+		t.Span(e)
 	}
 }

@@ -1,0 +1,92 @@
+package span
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+
+	"fbcache/internal/obs"
+)
+
+// Node is one span in a reconstructed request tree. The SpanEvent fields
+// inline into the node's JSON object, with children nested under it.
+type Node struct {
+	obs.SpanEvent
+	Children []*Node `json:"children,omitempty"`
+}
+
+// start is the node's span start time, recovered from end and duration.
+func (n *Node) start() float64 { return n.At - n.DurSec }
+
+// Trees reconstructs request trees from completed-span events: spans link
+// to their parent within the same request; spans whose parent is unknown —
+// true roots, or spans whose parent lives in another process's recorder —
+// become tree roots. Roots sort by start time (ties by request then span
+// ID), children likewise, so output is deterministic for a given input
+// set regardless of event order.
+func Trees(events []obs.SpanEvent) []*Node {
+	type key struct{ req, span uint64 }
+	nodes := make(map[key]*Node, len(events))
+	order := make([]*Node, 0, len(events))
+	for _, e := range events {
+		n := &Node{SpanEvent: e}
+		nodes[key{e.Req, e.Span}] = n
+		order = append(order, n)
+	}
+	var roots []*Node
+	for _, n := range order {
+		if p, ok := nodes[key{n.Req, n.Parent}]; ok && n.Parent != 0 && p != n {
+			p.Children = append(p.Children, n)
+			continue
+		}
+		roots = append(roots, n)
+	}
+	byStart := func(v []*Node) {
+		sort.Slice(v, func(i, j int) bool {
+			if v[i].start() != v[j].start() { //fbvet:allow floateq — sort comparator needs a total order; tolerant ties are not transitive
+				return v[i].start() < v[j].start()
+			}
+			if v[i].Req != v[j].Req {
+				return v[i].Req < v[j].Req
+			}
+			return v[i].Span < v[j].Span
+		})
+	}
+	byStart(roots)
+	for _, n := range order {
+		if len(n.Children) > 1 {
+			byStart(n.Children)
+		}
+	}
+	return roots
+}
+
+// flightSnapshot is the /debug/flight response body.
+type flightSnapshot struct {
+	Counters Counters `json:"counters"`
+	// Requests are the kept requests as reconstructed trees, oldest first.
+	Requests []*Node `json:"requests"`
+}
+
+// FlightHandler serves the recorder's kept ring as JSON: the accounting
+// counters plus every promoted request reconstructed into a span tree.
+// Mount it on the srmd debug mux as /debug/flight. A nil recorder serves
+// an empty snapshot, so the endpoint is always present.
+func FlightHandler(r *Recorder) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		kept := r.Kept()
+		events := make([]obs.SpanEvent, len(kept))
+		for i, s := range kept {
+			events[i] = s.Event()
+		}
+		trees := Trees(events)
+		if trees == nil {
+			trees = []*Node{} // [] not null for an idle recorder
+		}
+		snap := flightSnapshot{Counters: r.Counters(), Requests: trees}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(snap) // client gone mid-write; nothing to do
+	})
+}

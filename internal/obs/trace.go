@@ -148,6 +148,26 @@ type JobServedEvent struct {
 	BytesLoaded    int64   `json:"bytes_loaded"`
 }
 
+// SpanEvent is the trace form of one completed request span from the
+// serving path (see internal/obs/span). Unlike the simulator events above,
+// spans measure wall-clock time: At is the span's end, in seconds since the
+// recorder's epoch, and DurSec its wall-clock duration. IDs are opaque
+// uint64s assigned by the recorder; Parent is zero for request roots.
+type SpanEvent struct {
+	At     float64 `json:"at"`
+	Req    uint64  `json:"req"`
+	Span   uint64  `json:"span"`
+	Parent uint64  `json:"parent,omitempty"`
+	Op     string  `json:"op"`
+	DurSec float64 `json:"dur_sec"`
+	Bytes  int64   `json:"bytes,omitempty"`
+	Files  int     `json:"files,omitempty"`
+	Hit    bool    `json:"hit,omitempty"`
+	// Err is the span's error class ("busy", "too_large", ...) or empty on
+	// success (see span.ErrCode).
+	Err string `json:"err,omitempty"`
+}
+
 // ReplicaPlanEvent is emitted by the event-driven simulator once per
 // replication epoch: the adaptive planner re-ran against the current replica
 // catalog and fault state (see internal/replicate.Planner.Replan). Counts
@@ -184,6 +204,7 @@ type Tracer interface {
 	Stage(e StageEvent)
 	JobServed(e JobServedEvent)
 	ReplicaPlan(e ReplicaPlanEvent)
+	Span(e SpanEvent)
 }
 
 // NopTracer discards every event. Useful as an explicit stand-in where a
@@ -214,3 +235,6 @@ func (NopTracer) JobServed(JobServedEvent) {}
 
 // ReplicaPlan implements Tracer.
 func (NopTracer) ReplicaPlan(ReplicaPlanEvent) {}
+
+// Span implements Tracer.
+func (NopTracer) Span(SpanEvent) {}

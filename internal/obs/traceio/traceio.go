@@ -35,10 +35,11 @@ const (
 	KindStage       = "stage"
 	KindJobServed   = "job_served"
 	KindReplicaPlan = "replica_plan"
+	KindSpan        = "span"
 )
 
 // Event is one decoded trace line: the kind discriminator plus the typed
-// payload — one of the eight obs event structs, held by value.
+// payload — one of the nine obs event structs, held by value.
 type Event struct {
 	Kind string
 	Ev   any
@@ -75,10 +76,11 @@ var decoders = map[string]func(json.RawMessage) (any, error){
 	KindStage:       decodeAs[obs.StageEvent],
 	KindJobServed:   decodeAs[obs.JobServedEvent],
 	KindReplicaPlan: decodeAs[obs.ReplicaPlanEvent],
+	KindSpan:        decodeAs[obs.SpanEvent],
 }
 
 // KindOf reports the kind discriminator for a typed event payload, and
-// whether ev is one of the eight trace event types.
+// whether ev is one of the nine trace event types.
 func KindOf(ev any) (string, bool) {
 	switch ev.(type) {
 	case obs.AdmitEvent:
@@ -97,6 +99,8 @@ func KindOf(ev any) (string, bool) {
 		return KindJobServed, true
 	case obs.ReplicaPlanEvent:
 		return KindReplicaPlan, true
+	case obs.SpanEvent:
+		return KindSpan, true
 	}
 	return "", false
 }
@@ -223,6 +227,8 @@ func Dispatch(t obs.Tracer, e Event) error {
 		t.JobServed(ev)
 	case obs.ReplicaPlanEvent:
 		t.ReplicaPlan(ev)
+	case obs.SpanEvent:
+		t.Span(ev)
 	default:
 		return fmt.Errorf("traceio: cannot dispatch payload of type %T", e.Ev)
 	}

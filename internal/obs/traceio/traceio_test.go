@@ -36,6 +36,9 @@ func allKindsEvents() []Event {
 		{KindJobServed, obs.JobServedEvent{At: 11, Job: 3, Hit: false, ResponseSec: 3.5,
 			StagingSec: 2.625, QueuedAt: 7.5, FirstStageAt: 7.75, BytesRequested: 2048, BytesLoaded: 2048}},
 		{KindJobServed, obs.JobServedEvent{At: 12, Job: 4, Hit: true, BytesRequested: 10}},
+		{KindSpan, obs.SpanEvent{At: 13.5, Req: 7, Span: 21, Parent: 20, Op: "stage.admit",
+			DurSec: 0.25, Bytes: 4096, Files: 3, Hit: true, Err: "busy"}},
+		{KindSpan, obs.SpanEvent{At: 14, Req: 8, Span: 22, Op: "stage", DurSec: 0.001}},
 	}
 }
 
@@ -184,6 +187,9 @@ func TestDispatchFeedsStatsSink(t *testing.T) {
 	if st.StageStarts != 1 || st.StageRetries != 1 || st.Failovers != 1 || st.StageDones != 1 {
 		t.Errorf("stage phases = %d/%d/%d/%d, want 1 each",
 			st.StageStarts, st.StageRetries, st.Failovers, st.StageDones)
+	}
+	if st.Spans != 2 || st.SpanErrors != 1 {
+		t.Errorf("spans/span_errors = %d/%d, want 2/1", st.Spans, st.SpanErrors)
 	}
 	if err := Dispatch(sink, Event{Kind: "bogus", Ev: 42}); err == nil {
 		t.Error("Dispatch accepted a non-event payload")

@@ -63,5 +63,8 @@ func NewRegistry(s *SRM) *obs.Registry {
 	reg.GaugeFunc(`fbcache_info{policy="`+s.Stats().Policy+`"}`,
 		"Constant 1; the label carries the replacement policy in use.",
 		func() float64 { return 1 })
+	// Request-span telemetry (per-op wall-clock latency histograms and
+	// quantiles, flight-recorder accounting); no-op when spans are off.
+	s.Spans().ExportTo(reg)
 	return reg
 }

@@ -16,6 +16,7 @@ import (
 	"fbcache/internal/bundle"
 	"fbcache/internal/metrics"
 	"fbcache/internal/obs"
+	"fbcache/internal/obs/span"
 	"fbcache/internal/policy"
 	"fbcache/internal/store"
 )
@@ -55,6 +56,14 @@ type SRM struct {
 	// observed here and scraped from NewRegistry without involving mu.
 	reqBytes *obs.Histogram
 
+	// rec is the request-span flight recorder; nil means spans are off
+	// (the zero-cost default). Set it via WithSpans before Serve; readers
+	// on the serving path load it once per connection. Recorder methods
+	// are internally synchronized and lock-free on the start path, so leg
+	// spans are started and finished while mu is held (the recorder's
+	// stripe locks are leaves under mu — DESIGN.md §10).
+	rec *span.Recorder //fbvet:guardedby mu
+
 	// stageTimeout bounds how long one Stage may block waiting for pinned
 	// capacity; 0 means wait forever. See WithStageTimeout.
 	stageTimeout time.Duration //fbvet:guardedby mu
@@ -76,6 +85,23 @@ func New(pol policy.Policy, cat *bundle.Catalog) *SRM {
 	}
 	s.cond = sync.NewCond(&s.mu)
 	return s
+}
+
+// WithSpans attaches a request-span flight recorder: every Stage acquires
+// wait/admit/store leg spans under the caller's span context (see StageCtx
+// and Server.handle). Call it before the SRM serves traffic.
+func (s *SRM) WithSpans(rec *span.Recorder) *SRM {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rec = rec
+	return s
+}
+
+// Spans reports the attached flight recorder (nil when spans are off).
+func (s *SRM) Spans() *span.Recorder {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rec
 }
 
 // WithStageTimeout sets the per-request staging deadline: a Stage call that
@@ -114,6 +140,15 @@ type Release func()
 // cannot coexist with currently pinned bundles. On success the returned
 // Release must be called when the job finishes processing.
 func (s *SRM) Stage(b bundle.Bundle) (Release, policy.Result, error) {
+	return s.StageCtx(span.Context{}, b)
+}
+
+// StageCtx is Stage under a request-span context: with a recorder attached
+// (WithSpans) and a live ctx, the queue-wait, policy-admission and
+// store-sync legs each become child spans, so per-request latency
+// attribution survives into the flight recorder. Under the zero Context,
+// or with no recorder, it is exactly Stage.
+func (s *SRM) StageCtx(ctx span.Context, b bundle.Bundle) (Release, policy.Result, error) {
 	size := b.TotalSize(s.sizeOf)
 	s.reqBytes.Observe(float64(size))
 
@@ -136,10 +171,23 @@ func (s *SRM) Stage(b bundle.Bundle) (Release, policy.Result, error) {
 		})
 		defer timer.Stop()
 	}
-	for !s.closed && !expired && s.pinnedBytes+size > s.pol.Cache().Capacity() {
-		s.waiting++
-		s.cond.Wait()
-		s.waiting--
+	if !s.closed && !expired && s.pinnedBytes+size > s.pol.Cache().Capacity() {
+		// The wait span exists only when the request actually blocks, so
+		// its histogram is the queue-wait distribution, not a spike at ~0.
+		w := s.rec.StartChild(ctx, span.OpStageWait)
+		for !s.closed && !expired && s.pinnedBytes+size > s.pol.Cache().Capacity() {
+			s.waiting++
+			s.cond.Wait()
+			s.waiting--
+		}
+		switch {
+		case s.closed:
+			w.Finish(span.ErrClosed)
+		case s.pinnedBytes+size > s.pol.Cache().Capacity():
+			w.Finish(span.ErrBusy)
+		default:
+			w.Finish(span.ErrNone)
+		}
 	}
 	if s.closed {
 		return nil, policy.Result{}, ErrClosed
@@ -150,6 +198,7 @@ func (s *SRM) Stage(b bundle.Bundle) (Release, policy.Result, error) {
 		return nil, policy.Result{}, fmt.Errorf("%w (waited %v)", ErrBusy, s.stageTimeout)
 	}
 
+	adm := s.rec.StartChild(ctx, span.OpStageAdmit)
 	res := s.pol.Admit(b)
 	// Result.Loaded/Evicted alias policy scratch valid only until the next
 	// Admit; this res outlives the lock (it is returned to the caller), so
@@ -161,11 +210,21 @@ func (s *SRM) Stage(b bundle.Bundle) (Release, policy.Result, error) {
 		res.Evicted = res.Evicted.Clone()
 	}
 	s.col.Record(res)
+	adm.SetFiles(b.Len())
+	adm.SetBytes(int64(res.BytesLoaded))
+	adm.SetHit(res.Hit)
 	if res.Unserviceable {
+		adm.Finish(span.ErrTooLarge)
 		return nil, res, ErrTooLarge
 	}
-	if err := s.syncStore(res); err != nil {
-		return nil, res, err
+	adm.Finish(span.ErrNone)
+	if s.store != nil {
+		st := s.rec.StartChild(ctx, span.OpStageStore)
+		if err := s.syncStore(res); err != nil {
+			st.Finish(span.ErrStore)
+			return nil, res, err
+		}
+		st.Finish(span.ErrNone)
 	}
 	// Pin what is actually resident: with a pass-through (bypass) caching
 	// policy some files of b are deliberately never cached, so only the
@@ -214,6 +273,11 @@ func (s *SRM) StageWithTTL(b bundle.Bundle, ttl time.Duration) (Release, policy.
 
 // StageNames resolves file names through the catalog and stages the bundle.
 func (s *SRM) StageNames(names []string) (Release, policy.Result, error) {
+	return s.StageNamesCtx(span.Context{}, names)
+}
+
+// StageNamesCtx is StageNames under a request-span context (see StageCtx).
+func (s *SRM) StageNamesCtx(ctx span.Context, names []string) (Release, policy.Result, error) {
 	ids := make([]bundle.FileID, 0, len(names))
 	for _, n := range names {
 		id, ok := s.cat.Lookup(n)
@@ -222,7 +286,7 @@ func (s *SRM) StageNames(names []string) (Release, policy.Result, error) {
 		}
 		ids = append(ids, id)
 	}
-	return s.Stage(bundle.FromSlice(ids))
+	return s.StageCtx(ctx, bundle.FromSlice(ids))
 }
 
 // AddFile registers a file in the catalog (size in bytes) and returns its ID.
